@@ -1,0 +1,26 @@
+"""Bench: design-choice ablations (DESIGN.md Section 5).
+
+Claim under test: the adaptive scheme is robust to its mechanism
+parameters — history kind, window size, fallback victim, partial-tag
+function, SBAR leader count — none of which the paper tunes.
+"""
+
+from repro.experiments import ablations
+
+from conftest import SUBSET, run_and_report
+
+
+def test_ablations(benchmark, bench_setup):
+    def runner():
+        return ablations.run(setup=bench_setup, workloads=SUBSET[:5])
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            f"{row[0]}/{row[1]}": row[2] for row in r.rows
+        },
+    )
+    baseline = next(row[2] for row in result.rows if row[0] == "baseline")
+    for row in result.rows:
+        assert row[2] < 1.6 * baseline, (row, baseline)

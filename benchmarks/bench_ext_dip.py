@@ -1,0 +1,33 @@
+"""Bench: DIP-like set dueling expressed in the paper's framework.
+
+Claim under test: SbarPolicy over (LRU, BIP) — i.e. DIP — fixes
+loop-thrashing workloads while tracking LRU on recency-friendly ones,
+with zero mechanism beyond what the paper already built.
+"""
+
+from repro.experiments import ext_dip
+
+from conftest import run_and_report
+
+WORKLOADS = ["art-1", "gcc-1", "equake", "lucas", "gcc-2"]
+
+
+def test_ext_dip(benchmark, bench_setup):
+    def runner():
+        return ext_dip.run(setup=bench_setup, workloads=WORKLOADS)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "avg_mpki_dip": r.row_by_label("Average")[1],
+            "avg_mpki_lru": r.row_by_label("Average")[5],
+        },
+    )
+    average = result.row_by_label("Average")
+    dip, lru = average[1], average[5]
+    assert dip < lru  # dueling fixes the thrash mix overall
+    # On the recency-friendly programs DIP must not lose to LRU badly.
+    for name in ("lucas", "gcc-2"):
+        row = result.row_by_label(name)
+        assert row[1] <= 1.1 * row[5], name

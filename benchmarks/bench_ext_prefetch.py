@@ -1,0 +1,33 @@
+"""Bench: adaptive hybrid prefetching (Section 6 future-work extension).
+
+Claim under test: the usefulness-history hybrid tracks the better
+component prefetcher per workload — stride on array sweeps, restraint
+on pointer chasing — mirroring the replacement-policy result.
+"""
+
+from repro.experiments import ext_prefetch
+
+from conftest import run_and_report
+
+WORKLOADS = ["swim", "equake", "mcf", "lucas", "tiff2rgba"]
+
+
+def test_ext_prefetch(benchmark, bench_setup):
+    def runner():
+        return ext_prefetch.run(setup=bench_setup, workloads=WORKLOADS)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "avg_mpki_none": r.row_by_label("Average")[1],
+            "avg_mpki_hybrid": r.row_by_label("Average")[4],
+        },
+    )
+    average = result.row_by_label("Average")
+    # The hybrid must beat no-prefetching on average...
+    assert average[4] < average[1]
+    # ...and track the better component per workload.
+    for name in WORKLOADS:
+        row = result.row_by_label(name)
+        assert row[4] <= 1.25 * min(row[1:4]) + 1.0, name

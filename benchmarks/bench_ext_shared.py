@@ -1,0 +1,28 @@
+"""Bench: shared-cache mixes (Section 6 future-work extension).
+
+Claim under test: on two-core mixes of dissimilar programs, the
+adaptive shared L2 beats the LRU default and stays near the best fixed
+policy for every mix — without knowing which fixed policy that is.
+"""
+
+from repro.experiments import ext_shared
+
+from conftest import run_and_report
+
+PAIRS = [("lucas", "tiff2rgba"), ("gcc-2", "art-1"), ("bzip2", "xanim")]
+
+
+def test_ext_shared(benchmark, bench_setup):
+    def runner():
+        return ext_shared.run(setup=bench_setup, pairs=PAIRS)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            f"vs_lru_pct[{row[0]}]": row[4] for row in r.rows
+        },
+    )
+    for row in result.rows:
+        assert row[4] > 0.0, f"{row[0]}: adaptive lost to LRU"
+        assert row[5] > -15.0, f"{row[0]}: adaptive far from best fixed"

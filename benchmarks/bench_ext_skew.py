@@ -1,0 +1,33 @@
+"""Bench: skewed indexing vs adaptive replacement (orthogonality).
+
+Claim under test (the paper's Section 5): indexing schemes fix conflict
+misses, adaptive replacement fixes policy misses — different miss
+classes, composable benefits.
+"""
+
+from repro.experiments import ext_skew
+
+from conftest import run_and_report
+
+
+def test_ext_skew(benchmark, bench_setup):
+    def runner():
+        return ext_skew.run(setup=bench_setup, accesses=10_000)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            f"{row[0]}/{col}": row[i + 1]
+            for row in r.rows
+            for i, col in enumerate(["lru", "adaptive", "skewed", "fa"])
+        },
+    )
+    conflict = result.row_by_label("conflict (stride=sets)")
+    policy = result.row_by_label("policy (hot+scan)")
+    # Conflict stream: skewing wins big, adaptivity does not help.
+    assert conflict[3] < 0.3 * conflict[1]
+    assert conflict[2] > 0.9 * conflict[1]
+    # Policy stream: adaptivity wins, skewing does not help.
+    assert policy[2] < 0.95 * policy[1]
+    assert policy[3] > 0.9 * policy[1]

@@ -1,0 +1,33 @@
+"""Bench: cross-model validation of the timing substitution.
+
+Claim under test: the adaptive-vs-LRU conclusion agrees between the
+aggregate timing model and the per-instruction scoreboard reference
+model on every workload — the result does not hinge on either model's
+accounting structure.
+"""
+
+from repro.experiments import ext_validate
+
+from conftest import run_and_report
+
+WORKLOADS = ["lucas", "art-1", "tiff2rgba", "mcf"]
+
+
+def test_ext_validate(benchmark, bench_setup):
+    def runner():
+        return ext_validate.run(setup=bench_setup, workloads=WORKLOADS)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "avg_aggregate_pct": r.row_by_label("Average")[1],
+            "avg_scoreboard_pct": r.row_by_label("Average")[2],
+        },
+    )
+    for name in WORKLOADS:
+        row = result.row_by_label(name)
+        aggregate, scoreboard = row[1], row[2]
+        # Agreement: same sign for material improvements, or both small.
+        if abs(aggregate) >= 2.0 or abs(scoreboard) >= 2.0:
+            assert (aggregate > 0) == (scoreboard > 0), name

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 4 (per-benchmark CPI, full primary set).
+
+Paper: 12.9% average CPI improvement vs LRU; worst per-benchmark
+degradation 1.2%.
+"""
+
+from repro.experiments import fig4_cpi
+
+from conftest import run_and_report
+
+
+def test_fig4_cpi(benchmark, bench_setup):
+    def runner():
+        return fig4_cpi.run(setup=bench_setup)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "avg_cpi_adaptive": r.row_by_label("Average")[1],
+            "avg_cpi_lru": r.row_by_label("Average")[3],
+        },
+    )
+    average = result.row_by_label("Average")
+    assert average[1] < average[3]  # adaptive beats LRU on average

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 5 (partial-tag width sweep).
+
+Paper: 6-bit or wider partial tags change average MPKI/CPI by <1%;
+8-bit tags preserve the 12.7%-of-12.9% CPI improvement.
+"""
+
+from repro.experiments import fig5_partial_tags
+
+from conftest import SUBSET, run_and_report
+
+
+def test_fig5_partial_tags(benchmark, bench_setup):
+    def runner():
+        return fig5_partial_tags.run(setup=bench_setup, workloads=SUBSET)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "cpi_increase_8bit_pct": r.row_by_label("8-bit")[4],
+            "cpi_increase_4bit_pct": r.row_by_label("4-bit")[4],
+        },
+    )
+    # Shape: 8-bit tags stay within a few percent of full tags, and the
+    # narrowest tags are never *better* than wide ones by a wide margin.
+    assert abs(result.row_by_label("8-bit")[4]) < 5.0
+    assert result.row_by_label("4-bit")[3] >= \
+        result.row_by_label("12-bit")[3] - 2.0

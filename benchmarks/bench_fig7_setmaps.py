@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 7 (per-set policy maps for ammp and mgrid).
+
+Paper: ammp mixes LRU/LFU per set early, turns LFU-dominant mid-run,
+then LRU-dominant; mgrid starts LFU-favourable and fades to LRU.
+"""
+
+from repro.experiments import fig7_setmaps
+
+from conftest import run_and_report
+
+
+def test_fig7_setmaps(benchmark, bench_setup):
+    # Phase fades need run length to show; use a longer trace than the
+    # shared bench default.
+    from repro.experiments.base import make_setup
+
+    setup = make_setup("mini", accesses=12_000)
+
+    def runner():
+        return fig7_setmaps.run(setup=setup, samples=8)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "ammp_early_lfu_fraction": r.row_by_label("ammp")[1],
+            "ammp_late_lfu_fraction": r.row_by_label("ammp")[-1],
+        },
+    )
+    ammp = result.row_by_label("ammp")
+    # Shape: ammp's final quanta are LRU-dominant, its middle LFU-heavy.
+    assert ammp[-1] < 0.5
+    assert max(ammp[1:-2]) > 0.5

@@ -1,0 +1,83 @@
+"""Micro-benchmarks: per-access cost of each cache configuration.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+simulator's inner loop — useful for tracking the cost of the adaptive
+machinery relative to plain policies, and as a regression guard on the
+simulator's own performance.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.core.multi import five_policy_adaptive, make_adaptive
+from repro.core.partial import PartialTagScheme
+from repro.experiments.base import build_l2_policy
+from repro.policies.registry import make_policy
+
+CONFIG = CacheConfig(size_bytes=16 * 1024, ways=8, line_bytes=64)
+ACCESSES = 5000
+
+
+@pytest.fixture(scope="module")
+def addresses():
+    rng = random.Random(42)
+    return [rng.randrange(1 << 20) << 6 for _ in range(ACCESSES)]
+
+
+def drive(policy_factory, addresses):
+    cache = SetAssociativeCache(CONFIG, policy_factory())
+    for address in addresses:
+        cache.access(address)
+    return cache.stats.misses
+
+
+@pytest.mark.parametrize("name", ["lru", "lfu", "fifo", "mru", "random"])
+def test_plain_policy_throughput(benchmark, addresses, name):
+    misses = benchmark(
+        drive,
+        lambda: make_policy(name, CONFIG.num_sets, CONFIG.ways),
+        addresses,
+    )
+    assert misses > 0
+
+
+def test_adaptive_full_tag_throughput(benchmark, addresses):
+    misses = benchmark(
+        drive,
+        lambda: make_adaptive(CONFIG.num_sets, CONFIG.ways),
+        addresses,
+    )
+    assert misses > 0
+
+
+def test_adaptive_partial_tag_throughput(benchmark, addresses):
+    misses = benchmark(
+        drive,
+        lambda: make_adaptive(
+            CONFIG.num_sets, CONFIG.ways,
+            tag_transform=PartialTagScheme(8),
+        ),
+        addresses,
+    )
+    assert misses > 0
+
+
+def test_five_policy_throughput(benchmark, addresses):
+    misses = benchmark(
+        drive,
+        lambda: five_policy_adaptive(CONFIG.num_sets, CONFIG.ways),
+        addresses,
+    )
+    assert misses > 0
+
+
+def test_sbar_throughput(benchmark, addresses):
+    misses = benchmark(
+        drive,
+        lambda: build_l2_policy(CONFIG, "sbar", num_leaders=16),
+        addresses,
+    )
+    assert misses > 0

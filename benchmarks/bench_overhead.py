@@ -1,0 +1,45 @@
+"""Bench: regenerate the Section 3.2 storage table and check Table 1.
+
+Pure arithmetic: the bench time measures the model itself, and the
+assertions pin the exact paper numbers (544/598/566 KB, 4.0%, 2.1%,
+0.16%).
+"""
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.experiments import storage
+
+from conftest import run_and_report
+
+
+def test_storage_accounting(benchmark):
+    result = run_and_report(
+        benchmark,
+        storage.run,
+        lambda r: {row[0]: row[1] for row in r.rows},
+    )
+    totals = {row[0]: (row[1], row[2]) for row in result.rows}
+    assert totals["conventional (data+tags+state)"][0] == pytest.approx(544.0)
+    assert totals["adaptive, full tags"][0] == pytest.approx(598.0)
+    assert totals["adaptive, 8-bit partial tags"][0] == pytest.approx(566.0)
+    assert totals["adaptive, 8-bit partial tags"][1] == pytest.approx(
+        4.0, abs=0.1
+    )
+    assert totals["adaptive, 8-bit tags, 128B lines"][1] == pytest.approx(
+        2.1, abs=0.1
+    )
+    assert totals["SBAR, 16 leaders, full tags"][1] == pytest.approx(
+        0.16, abs=0.01
+    )
+
+
+def test_table1_configuration(benchmark):
+    """Table 1 sanity: the default ProcessorConfig is the paper's."""
+    config = benchmark.pedantic(ProcessorConfig, rounds=1, iterations=1)
+    assert config.issue_width == 8
+    assert config.rob_entries == 64
+    assert config.l2.size_bytes == 512 * 1024
+    assert config.l2.ways == 8
+    assert config.l2.hit_latency == 15
+    assert config.store_buffer_entries == 4

@@ -1,0 +1,26 @@
+"""Bench: regenerate Section 4.4 (five-policy adaptivity).
+
+Paper: adapting over LRU+LFU+FIFO+MRU+Random yields cumulative CPI
+virtually identical to plain LRU/LFU adaptivity.
+"""
+
+from repro.experiments import sec44_five_policy
+
+from conftest import SUBSET, run_and_report
+
+
+def test_sec44_five_policy(benchmark, bench_setup):
+    def runner():
+        return sec44_five_policy.run(setup=bench_setup, workloads=SUBSET)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "avg_cpi_two_policy": r.row_by_label("Average")[1],
+            "avg_cpi_five_policy": r.row_by_label("Average")[2],
+        },
+    )
+    average = result.row_by_label("Average")
+    two, five = average[1], average[2]
+    assert abs(five - two) / two < 0.25  # "virtually identical"

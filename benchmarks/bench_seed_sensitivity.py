@@ -1,0 +1,31 @@
+"""Bench: seed sensitivity of the headline MPKI reduction.
+
+Claim under test: the adaptive-vs-LRU improvement is a property of the
+workloads' locality classes, not of the particular synthetic draw — the
+spread across independent seeds stays small relative to the mean.
+"""
+
+from repro.experiments import seed_sensitivity
+
+from conftest import run_and_report
+
+
+def test_seed_sensitivity(benchmark, bench_setup):
+    def runner():
+        return seed_sensitivity.run(
+            setup=bench_setup,
+            workloads=["lucas", "art-1", "tiff2rgba", "ammp"],
+            seeds=3,
+        )
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {"mean_reduction_pct": r.row_by_label("mean")[1]},
+    )
+    per_seed = [row[1] for row in result.rows if row[0] != "mean"]
+    mean = result.row_by_label("mean")[1]
+    assert mean > 0.0
+    assert all(value > 0.0 for value in per_seed)
+    # Spread bounded relative to the mean.
+    assert max(per_seed) - min(per_seed) < max(6.0, 0.8 * mean)

@@ -1,0 +1,22 @@
+"""Bench: empirically hammer the Appendix's 2x miss bound.
+
+Paper: the counter-selector adaptive policy suffers at most twice the
+misses of the better component, per set.
+"""
+
+from repro.experiments import theory
+
+from conftest import run_and_report
+
+
+def test_theory_bound(benchmark):
+    def runner():
+        return theory.run(seeds=3, trace_length=10_000)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {"worst_ratio": max(row[1] for row in r.rows)},
+    )
+    assert all(row[2] for row in result.rows)
+    assert max(row[1] for row in result.rows) <= 2.0

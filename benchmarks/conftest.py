@@ -1,0 +1,48 @@
+"""Shared benchmark configuration.
+
+Every paper table/figure has one bench module here. Each bench runs its
+experiment driver once (``pedantic`` mode — these are full simulations,
+not microseconds-scale operations), prints the regenerated rows, and
+attaches the headline numbers as ``extra_info`` so they land in the
+pytest-benchmark JSON.
+
+Scale: benches use the ``mini`` setup (16 KB L2) with short traces so
+the whole harness completes in minutes. ``repro-experiments <exp>
+--scale scaled|paper`` regenerates any figure at larger scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import make_setup
+
+BENCH_ACCESSES = 6000
+
+# A slice of the primary set covering every locality class, used by the
+# parameter-sweep benches where the full 26-program set would be slow.
+SUBSET = ["lucas", "gcc-2", "art-1", "tiff2rgba", "ammp", "mcf", "swim",
+          "unepic"]
+
+
+@pytest.fixture(scope="session")
+def bench_setup():
+    """The benchmark-scale setup shared by all figure benches."""
+    return make_setup("mini", accesses=BENCH_ACCESSES)
+
+
+def run_and_report(benchmark, runner, label_values):
+    """Run ``runner`` once under pytest-benchmark and report its result.
+
+    Args:
+        benchmark: the pytest-benchmark fixture.
+        runner: zero-argument callable returning an ExperimentResult.
+        label_values: callable mapping the result to a dict of headline
+            numbers for ``extra_info``.
+    """
+    result = benchmark.pedantic(runner, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for key, value in label_values(result).items():
+        benchmark.extra_info[key] = value
+    return result

@@ -1,0 +1,54 @@
+"""Markdown report generation for experiment results.
+
+Turns :class:`~repro.experiments.base.ExperimentResult` objects into
+markdown sections, and a collection of them into a full report — the
+programmatic counterpart of EXPERIMENTS.md, so a user who re-runs the
+harness at any scale can regenerate the whole paper-vs-measured record
+with one command (``repro-experiments report``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _format_cell(value, float_digits: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def result_to_markdown(result, float_digits: int = 3) -> str:
+    """Render one ExperimentResult as a markdown section."""
+    lines: List[str] = [f"## {result.experiment}", "", result.description, ""]
+    header = "| " + " | ".join(str(h) for h in result.headers) + " |"
+    divider = "|" + "|".join(" --- " for _ in result.headers) + "|"
+    lines.append(header)
+    lines.append(divider)
+    for row in result.rows:
+        cells = [_format_cell(cell, float_digits) for cell in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    for note in result.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    return "\n".join(lines)
+
+
+def build_report(
+    results: Iterable,
+    title: str = "Reproduction report",
+    preamble: Sequence[str] = (),
+    float_digits: int = 3,
+) -> str:
+    """Assemble a full markdown report from experiment results."""
+    parts: List[str] = [f"# {title}", ""]
+    for line in preamble:
+        parts.append(line)
+    if preamble:
+        parts.append("")
+    for result in results:
+        parts.append(result_to_markdown(result, float_digits))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

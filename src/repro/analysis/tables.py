@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _format_cell(value, float_digits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    float_digits: int = 3,
+    title: str = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are rounded to ``float_digits``; column widths fit the widest
+    cell. Used by every experiment driver to print the rows of its
+    paper figure/table.
+    """
+    if not headers:
+        raise ValueError("need at least one header")
+    text_rows: List[List[str]] = [
+        [_format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""The set-associative cache with pluggable replacement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cache_set import CacheSet
+from repro.cache.config import CacheConfig
+from repro.cache.stats import CacheStats
+from repro.policies.base import ReplacementPolicy
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    Attributes:
+        hit: whether the reference hit.
+        set_index: the set the reference mapped to.
+        evicted_tag: tag of the block displaced to make room, or None
+            (hit, or fill into an invalid way).
+        writeback: whether the displaced block was dirty.
+    """
+
+    hit: bool
+    set_index: int
+    evicted_tag: Optional[int] = None
+    writeback: bool = False
+
+
+class SetAssociativeCache:
+    """A conventional set-associative cache driven by a replacement policy.
+
+    The cache is deliberately unaware of whether its policy is a simple
+    one (LRU, LFU, ...) or the paper's adaptive policy: adaptivity lives
+    entirely in the policy object, mirroring the hardware claim that the
+    adaptive machinery sits beside — not inside — the standard tag/data
+    arrays (Figure 1).
+
+    Write handling is write-back/write-allocate: stores allocate on miss
+    and mark the line dirty; evicting a dirty line counts a writeback.
+    """
+
+    def __init__(self, config: CacheConfig, policy: ReplacementPolicy):
+        if policy.num_sets != config.num_sets or policy.ways != config.ways:
+            raise ValueError(
+                "policy geometry "
+                f"({policy.num_sets} sets x {policy.ways} ways) does not match "
+                f"cache geometry ({config.num_sets} sets x {config.ways} ways)"
+            )
+        self.config = config
+        self.policy = policy
+        self.sets = [CacheSet(config.ways) for _ in range(config.num_sets)]
+        self.stats = CacheStats(per_set_misses=[0] * config.num_sets)
+
+    def access(self, address: int, is_write: bool = False) -> AccessResult:
+        """Reference one byte address; returns the access outcome."""
+        set_index = self.config.set_index(address)
+        tag = self.config.tag(address)
+        return self.access_decomposed(set_index, tag, is_write)
+
+    def access_decomposed(
+        self, set_index: int, tag: int, is_write: bool = False
+    ) -> AccessResult:
+        """Reference an already-decomposed (set, tag) pair.
+
+        The hierarchy and the experiment harness pre-decompose addresses
+        once and replay them against several caches, so this entry point
+        avoids repeating the shift/mask work per cache.
+        """
+        self.stats.accesses += 1
+        self.policy.observe(set_index, tag, is_write)
+        cache_set = self.sets[set_index]
+
+        way = cache_set.find(tag)
+        if way is not None:
+            self.stats.hits += 1
+            self.policy.on_hit(set_index, way)
+            if is_write:
+                cache_set.mark_dirty(way)
+            return AccessResult(hit=True, set_index=set_index)
+
+        self.stats.misses += 1
+        self.stats.per_set_misses[set_index] += 1
+
+        evicted_tag = None
+        writeback = False
+        fill_way = cache_set.free_way()
+        if fill_way is None:
+            fill_way = self.policy.victim(set_index, cache_set)
+            evicted_tag, was_dirty = cache_set.evict(fill_way)
+            self.stats.evictions += 1
+            if was_dirty:
+                self.stats.writebacks += 1
+                writeback = True
+
+        cache_set.install(fill_way, tag, dirty=is_write)
+        self.policy.on_fill(set_index, fill_way, tag)
+        return AccessResult(
+            hit=False,
+            set_index=set_index,
+            evicted_tag=evicted_tag,
+            writeback=writeback,
+        )
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident."""
+        set_index = self.config.set_index(address)
+        return self.sets[set_index].find(self.config.tag(address)) is not None
+
+    def invalidate(self, address: int) -> bool:
+        """Remove the line holding ``address`` if present.
+
+        Models coherence invalidations; returns True if a line was
+        removed. The policy is notified so ordered structures stay
+        consistent.
+        """
+        set_index = self.config.set_index(address)
+        tag = self.config.tag(address)
+        cache_set = self.sets[set_index]
+        way = cache_set.find(tag)
+        if way is None:
+            return False
+        cache_set.evict(way)
+        self.policy.on_invalidate(set_index, way)
+        self.stats.invalidations += 1
+        return True
+
+    def resident_block_count(self) -> int:
+        """Total valid lines across all sets (testing/inspection aid)."""
+        return sum(s.occupancy() for s in self.sets)

@@ -1,0 +1,96 @@
+"""Cache geometry configuration and address decomposition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitops import ilog2, is_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    Attributes:
+        size_bytes: total data capacity.
+        ways: set associativity.
+        line_bytes: cache-line (block) size.
+        hit_latency: cycles to serve a hit (used by the timing model).
+        address_bits: physical address width; the paper assumes 40 bits
+            when counting tag-store overhead (Section 3.2, footnote 2).
+    """
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_latency: int = 1
+    address_bits: int = 40
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("size_bytes, ways and line_bytes must be positive")
+        if not is_power_of_two(self.line_bytes):
+            raise ValueError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"capacity {self.size_bytes} is not divisible by "
+                f"ways*line_bytes = {self.ways * self.line_bytes}"
+            )
+        if not is_power_of_two(self.num_sets):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self.num_sets}"
+            )
+        if self.hit_latency <= 0:
+            raise ValueError(f"hit_latency must be positive, got {self.hit_latency}")
+        if self.address_bits <= self.offset_bits + self.index_bits:
+            raise ValueError(
+                "address_bits too small for this geometry: "
+                f"{self.address_bits} <= {self.offset_bits + self.index_bits}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.num_sets * self.ways
+
+    @property
+    def offset_bits(self) -> int:
+        """Low address bits selecting the byte within a line."""
+        return ilog2(self.line_bytes)
+
+    @property
+    def index_bits(self) -> int:
+        """Address bits selecting the set."""
+        return ilog2(self.num_sets)
+
+    @property
+    def tag_bits(self) -> int:
+        """Address bits stored as the (full) tag."""
+        return self.address_bits - self.offset_bits - self.index_bits
+
+    def block_address(self, address: int) -> int:
+        """Line-granular address (byte address >> offset bits)."""
+        return address >> self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        """Set selected by a byte address."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Full tag of a byte address."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def rebuild_address(self, tag: int, set_index: int) -> int:
+        """Reconstruct the base byte address of a line from tag and set."""
+        return ((tag << self.index_bits) | set_index) << self.offset_bits
+
+    def scaled(self, **overrides) -> "CacheConfig":
+        """Return a copy with some fields replaced (dataclasses.replace)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)

@@ -1,0 +1,123 @@
+"""Two-level cache hierarchy with a memory/bus backend.
+
+Models the paper's memory system (Table 1): split L1 instruction/data
+caches over a unified L2, a split-transaction bus and a fixed-latency
+main memory. Latency accounting is what the timing model consumes; data
+movement itself is not simulated (tags suffice for replacement studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cache import SetAssociativeCache
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Outcome of one reference walked through the hierarchy.
+
+    Attributes:
+        hit_level: ``"l1"``, ``"l2"`` or ``"memory"``.
+        latency: cycles to return the data to the core.
+        l2_accessed: the reference reached the L2 (i.e. missed L1).
+        l2_miss: the reference missed the L2 and went to memory.
+    """
+
+    hit_level: str
+    latency: int
+    l2_accessed: bool
+    l2_miss: bool
+
+
+class CacheHierarchy:
+    """L1I + L1D over a unified L2 over memory.
+
+    The L1s are optional: replacement studies that start from an L2
+    reference trace (the common case in the experiments) construct the
+    hierarchy with ``l1d=None, l1i=None`` and call :meth:`access_l2`
+    directly.
+    """
+
+    def __init__(
+        self,
+        l2: SetAssociativeCache,
+        l1d: Optional[SetAssociativeCache] = None,
+        l1i: Optional[SetAssociativeCache] = None,
+        memory_latency: int = 120,
+        bus_transfer_cycles: int = 64,
+    ):
+        if memory_latency <= 0:
+            raise ValueError(f"memory_latency must be positive, got {memory_latency}")
+        if bus_transfer_cycles < 0:
+            raise ValueError(
+                f"bus_transfer_cycles must be non-negative, got {bus_transfer_cycles}"
+            )
+        self.l2 = l2
+        self.l1d = l1d
+        self.l1i = l1i
+        self.memory_latency = memory_latency
+        self.bus_transfer_cycles = bus_transfer_cycles
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    @property
+    def miss_penalty(self) -> int:
+        """Cycles an L2 miss spends fetching a line from memory."""
+        return self.memory_latency + self.bus_transfer_cycles
+
+    def access_l2(self, address: int, is_write: bool = False) -> HierarchyResult:
+        """Reference the unified L2 directly (L2-trace experiments)."""
+        result = self.l2.access(address, is_write)
+        if result.writeback:
+            self.memory_writes += 1
+        if result.hit:
+            return HierarchyResult(
+                hit_level="l2",
+                latency=self.l2.config.hit_latency,
+                l2_accessed=True,
+                l2_miss=False,
+            )
+        self.memory_reads += 1
+        return HierarchyResult(
+            hit_level="memory",
+            latency=self.l2.config.hit_latency + self.miss_penalty,
+            l2_accessed=True,
+            l2_miss=True,
+        )
+
+    def _access_through_l1(
+        self, l1: Optional[SetAssociativeCache], address: int, is_write: bool
+    ) -> HierarchyResult:
+        if l1 is None:
+            return self.access_l2(address, is_write)
+        l1_result = l1.access(address, is_write)
+        if l1_result.hit:
+            return HierarchyResult(
+                hit_level="l1",
+                latency=l1.config.hit_latency,
+                l2_accessed=False,
+                l2_miss=False,
+            )
+        # L1 writebacks land in the (unified, larger) L2.
+        if l1_result.writeback:
+            evicted_base = l1.config.rebuild_address(
+                l1_result.evicted_tag, l1_result.set_index
+            )
+            self.l2.access(evicted_base, is_write=True)
+        below = self.access_l2(address, is_write=False)
+        return HierarchyResult(
+            hit_level=below.hit_level,
+            latency=l1.config.hit_latency + below.latency,
+            l2_accessed=True,
+            l2_miss=below.l2_miss,
+        )
+
+    def access_data(self, address: int, is_write: bool = False) -> HierarchyResult:
+        """Load/store reference through the L1 data cache."""
+        return self._access_through_l1(self.l1d, address, is_write)
+
+    def access_inst(self, address: int) -> HierarchyResult:
+        """Instruction fetch through the L1 instruction cache."""
+        return self._access_through_l1(self.l1i, address, is_write=False)

@@ -1,0 +1,108 @@
+"""Parallel (shadow) tag arrays.
+
+A :class:`TagArray` tracks what a cache managed by one component policy
+*would* contain, without storing any data — the paper's "parallel tag
+structures" (Section 2.2). It has the same number of sets and ways as the
+real cache and runs its component policy on every reference.
+
+Tags may be transformed before storage (the partial-tag optimization of
+Section 3.1): the array is constructed with a ``tag_transform`` callable,
+identity for full tags or a :class:`~repro.core.partial.PartialTagScheme`
+for partial ones. With partial tags, distinct full tags can collide
+(false-positive hits); that imprecision is exactly what the paper
+evaluates in Figure 5 and is deliberately preserved here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cache.cache_set import CacheSet
+from repro.policies.base import ReplacementPolicy
+
+
+def identity_tag(tag: int) -> int:
+    """Full-tag transform: store the tag unchanged."""
+    return tag
+
+
+@dataclass(frozen=True)
+class ShadowOutcome:
+    """What happened when a reference was replayed into a shadow array.
+
+    Attributes:
+        missed: the component policy's cache would have missed.
+        victim_tag: the (transformed) tag the component policy evicted to
+            make room, or None (hit, or fill into an empty way).
+    """
+
+    missed: bool
+    victim_tag: Optional[int] = None
+
+
+class TagArray:
+    """Tags-only cache simulating one component policy's contents."""
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        policy: ReplacementPolicy,
+        tag_transform: Callable[[int], int] = identity_tag,
+    ):
+        if policy.num_sets != num_sets or policy.ways != ways:
+            raise ValueError(
+                "policy geometry "
+                f"({policy.num_sets}x{policy.ways}) does not match tag array "
+                f"geometry ({num_sets}x{ways})"
+            )
+        self.num_sets = num_sets
+        self.ways = ways
+        self.policy = policy
+        self.tag_transform = tag_transform
+        self.sets = [CacheSet(ways) for _ in range(num_sets)]
+        self.misses = 0
+        self.accesses = 0
+        self.per_set_misses = [0] * num_sets
+
+    def lookup_update(
+        self, set_index: int, full_tag: int, is_write: bool = False
+    ) -> ShadowOutcome:
+        """Replay one reference: probe, then update as the policy would."""
+        self.accesses += 1
+        stored = self.tag_transform(full_tag)
+        shadow_set = self.sets[set_index]
+        self.policy.observe(set_index, stored, is_write)
+
+        way = shadow_set.find(stored)
+        if way is not None:
+            self.policy.on_hit(set_index, way)
+            return ShadowOutcome(missed=False)
+
+        self.misses += 1
+        self.per_set_misses[set_index] += 1
+        victim_tag = None
+        fill_way = shadow_set.free_way()
+        if fill_way is None:
+            fill_way = self.policy.victim(set_index, shadow_set)
+            victim_tag, _ = shadow_set.evict(fill_way)
+        shadow_set.install(fill_way, stored)
+        self.policy.on_fill(set_index, fill_way, stored)
+        return ShadowOutcome(missed=True, victim_tag=victim_tag)
+
+    def contains_full(self, set_index: int, full_tag: int) -> bool:
+        """Would this component cache (appear to) hold ``full_tag``?
+
+        With partial tags this can be a false positive — by design.
+        """
+        stored = self.tag_transform(full_tag)
+        return self.sets[set_index].find(stored) is not None
+
+    def contains_stored(self, set_index: int, stored_tag: int) -> bool:
+        """Membership test on an already-transformed tag."""
+        return self.sets[set_index].find(stored_tag) is not None
+
+    def resident_tags(self, set_index: int) -> List[int]:
+        """Transformed tags currently resident in ``set_index``."""
+        return self.sets[set_index].resident_tags()

@@ -1,0 +1,41 @@
+"""The paper's contribution: adaptive cache replacement.
+
+* :class:`PartialTagScheme` — Section 3.1's partial tags.
+* :class:`BitVectorHistory` / :class:`CounterHistory` /
+  :class:`SaturatingCounterHistory` — Section 2.2's miss history buffers.
+* :class:`AdaptivePolicy` — Algorithm 1, generalized to N components.
+* :func:`make_adaptive` / :func:`five_policy_adaptive` — convenience
+  constructors (Section 4.4's design-space exploration).
+* :class:`SbarPolicy` — the set-sampling variant of Section 4.7.
+* :mod:`repro.core.theory` — empirical checks of the Appendix's 2x bound.
+"""
+
+from repro.core.partial import PartialTagScheme, full_tags
+from repro.core.history import (
+    MissHistory,
+    BitVectorHistory,
+    CounterHistory,
+    SaturatingCounterHistory,
+    make_history_factory,
+)
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.multi import make_adaptive, five_policy_adaptive
+from repro.core.sbar import SbarPolicy
+from repro.core.theory import BoundReport, check_miss_bound, adversarial_trace
+
+__all__ = [
+    "PartialTagScheme",
+    "full_tags",
+    "MissHistory",
+    "BitVectorHistory",
+    "CounterHistory",
+    "SaturatingCounterHistory",
+    "make_history_factory",
+    "AdaptivePolicy",
+    "make_adaptive",
+    "five_policy_adaptive",
+    "SbarPolicy",
+    "BoundReport",
+    "check_miss_bound",
+    "adversarial_trace",
+]

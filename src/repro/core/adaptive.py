@@ -1,0 +1,217 @@
+"""The adaptive replacement policy (Sections 2.2-2.3, Algorithm 1).
+
+:class:`AdaptivePolicy` is a :class:`~repro.policies.base.ReplacementPolicy`,
+so it plugs into an unmodified :class:`~repro.cache.cache.SetAssociativeCache`
+— mirroring the paper's hardware claim that adaptivity adds structures
+*beside* the conventional cache (Figure 1) without touching its critical
+path.
+
+Per access (the ``observe`` hook, which the cache invokes before lookup):
+
+1. Replay the reference into each component's parallel tag array,
+   recording whether that component would have hit or missed and which
+   block it evicted.
+2. If the outcome was decisive (some but not all components missed),
+   record it in the set's miss history buffer.
+
+On a real miss the cache asks for a victim; Algorithm 1 runs:
+
+1. Pick the component with the fewest recorded misses (ties go to the
+   first component, as in the paper's worked example).
+2. If that component itself missed and the block it just evicted is in
+   the real cache, evict the same block.
+3. Otherwise evict any real block *not* present in that component's tag
+   array. With full tags such a block must exist whenever the contents
+   differ; with partial tags aliasing can hide every candidate, in which
+   case an arbitrary block is evicted (Section 3.1).
+
+The policy generalizes transparently from two components to N — the
+paper's five-policy experiment (Section 4.4) uses the same class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.cache.tag_array import ShadowOutcome, TagArray, identity_tag
+from repro.core.history import BitVectorHistory, MissHistory
+from repro.policies.base import ReplacementPolicy, SetView
+from repro.utils.rng import DeterministicRNG
+
+
+class AdaptivePolicy(ReplacementPolicy):
+    """Adaptive replacement over N >= 2 component policies.
+
+    Args:
+        num_sets: cache geometry (must match the component policies).
+        ways: cache associativity.
+        components: component policy instances; each becomes the manager
+            of one parallel tag array. Order matters: ties in the history
+            favour earlier components, and reports use this order.
+        tag_transform: full-tag identity or a
+            :class:`~repro.core.partial.PartialTagScheme`.
+        history_factory: per-set miss history constructor; defaults to
+            the paper's m-bit vector with m = ``ways``.
+        fallback: victim choice when aliasing defeats the "not in
+            component" search — ``"lru"`` (default; the paper suggests
+            keeping a recency order, Section 3.3) or ``"random"``.
+        seed: RNG seed for the random fallback.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        components: Sequence[ReplacementPolicy],
+        tag_transform: Callable[[int], int] = identity_tag,
+        history_factory: Optional[Callable[[int], MissHistory]] = None,
+        fallback: str = "lru",
+        seed: int = 0,
+    ):
+        super().__init__(num_sets, ways)
+        if len(components) < 2:
+            raise ValueError(
+                f"adaptivity needs at least 2 components, got {len(components)}"
+            )
+        if fallback not in ("lru", "random"):
+            raise ValueError(f"unknown fallback {fallback!r}")
+        for component in components:
+            if component.num_sets != num_sets or component.ways != ways:
+                raise ValueError(
+                    f"component {component.name!r} geometry "
+                    f"({component.num_sets}x{component.ways}) does not match "
+                    f"({num_sets}x{ways})"
+                )
+        self.components = list(components)
+        self.tag_transform = tag_transform
+        self.fallback = fallback
+        self.name = "adaptive(" + "+".join(c.name for c in self.components) + ")"
+
+        if history_factory is None:
+            history_factory = lambda n: BitVectorHistory(n, window=ways)
+        self.histories: List[MissHistory] = [
+            history_factory(len(self.components)) for _ in range(num_sets)
+        ]
+        self.shadows = [
+            TagArray(num_sets, ways, component, tag_transform)
+            for component in self.components
+        ]
+
+        self._rng = DeterministicRNG(seed)
+        # Recency stamps for the LRU fallback and the imitate-LRU shortcut.
+        self._clock = 0
+        self._stamp = [[0] * ways for _ in range(num_sets)]
+        # Outcomes of the current access's shadow replays, consumed by
+        # victim(); the cache calls observe() exactly once per access.
+        self._last_outcomes: List[ShadowOutcome] = []
+        self._last_set = -1
+        # Imitation decisions per set per component, drained by Figure 7.
+        self._decisions = [[0] * len(self.components) for _ in range(num_sets)]
+        self.fallback_evictions = 0
+
+    # ------------------------------------------------------------------
+    # ReplacementPolicy events
+    # ------------------------------------------------------------------
+
+    def observe(self, set_index: int, tag: int, is_write: bool) -> None:
+        outcomes = [
+            shadow.lookup_update(set_index, tag, is_write)
+            for shadow in self.shadows
+        ]
+        self.histories[set_index].record([o.missed for o in outcomes])
+        self._last_outcomes = outcomes
+        self._last_set = set_index
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._check_slot(set_index, way)
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+
+    def on_fill(self, set_index: int, way: int, tag: int) -> None:
+        self._check_slot(set_index, way)
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+
+    def victim(self, set_index: int, set_view: SetView) -> int:
+        if set_index != self._last_set or not self._last_outcomes:
+            raise RuntimeError(
+                "victim() called without a preceding observe() for set "
+                f"{set_index}; the adaptive policy must be driven by a "
+                "SetAssociativeCache"
+            )
+        chosen = self.histories[set_index].best_component()
+        self._decisions[set_index][chosen] += 1
+        outcome = self._last_outcomes[chosen]
+        shadow = self.shadows[chosen]
+
+        # Step 2: the imitated component evicted a block that the real
+        # cache also holds -> evict the same block.
+        if outcome.missed and outcome.victim_tag is not None:
+            way = self._find_way_by_stored_tag(set_view, outcome.victim_tag)
+            if way is not None:
+                return way
+
+        # Step 3: evict any real block not in the imitated component.
+        way = self._find_way_not_in_shadow(set_index, set_view, shadow)
+        if way is not None:
+            return way
+
+        # Aliasing (partial tags) hid every candidate: arbitrary victim.
+        self.fallback_evictions += 1
+        return self._fallback_victim(set_index, set_view)
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        # Stale recency stamps are harmless: invalid ways are filled
+        # before victim() can ever be consulted about them.
+        self._check_slot(set_index, way)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _find_way_by_stored_tag(
+        self, set_view: SetView, stored_tag: int
+    ) -> Optional[int]:
+        for way in set_view.valid_ways():
+            if self.tag_transform(set_view.tag_at(way)) == stored_tag:
+                return way
+        return None
+
+    def _find_way_not_in_shadow(
+        self, set_index: int, set_view: SetView, shadow: TagArray
+    ) -> Optional[int]:
+        for way in set_view.valid_ways():
+            stored = self.tag_transform(set_view.tag_at(way))
+            if not shadow.contains_stored(set_index, stored):
+                return way
+        return None
+
+    def _fallback_victim(self, set_index: int, set_view: SetView) -> int:
+        candidates = set_view.valid_ways()
+        if self.fallback == "random":
+            return candidates[self._rng.choice_index(len(candidates))]
+        stamps = self._stamp[set_index]
+        return min(candidates, key=stamps.__getitem__)
+
+    # ------------------------------------------------------------------
+    # Introspection for experiments
+    # ------------------------------------------------------------------
+
+    def component_misses(self) -> List[int]:
+        """Total shadow misses per component (what each policy alone
+        would have suffered — up to partial-tag optimism)."""
+        return [shadow.misses for shadow in self.shadows]
+
+    def drain_decisions(self) -> List[List[int]]:
+        """Per-set imitation decision counts since the previous drain.
+
+        Figure 7's set-vs-time maps sample this every time quantum: the
+        majority component per set paints the pixel.
+        """
+        drained = [list(row) for row in self._decisions]
+        for row in self._decisions:
+            for i in range(len(row)):
+                row[i] = 0
+        return drained

@@ -1,0 +1,201 @@
+"""SBAR-like set-sampling adaptive replacement (Section 4.7).
+
+Qureshi, Lynch, Mutlu and Patt's Sampling Based Adaptive Replacement
+eliminates the duplicated tag structures for all but a few *leader* sets.
+As the paper describes its SBAR-like variant:
+
+* Policy-specific metadata (recency order, frequency counts) is kept at
+  all times for the blocks actually in the cache, for *both* component
+  policies — so either policy can take over the current contents.
+* Leader sets behave like regular adaptive sets: they carry parallel tag
+  arrays and a miss history, and their decisive misses additionally vote
+  into a global saturating selector (a PSEL-style counter).
+* Follower sets carry no extra structures; on a miss they evict whatever
+  the globally selected policy's metadata says ("the LFU algorithm
+  begins executing on the blocks that are currently in the cache").
+
+This forfeits the theoretical guarantee — switching policies restarts
+from the current contents instead of the imitated policy's contents —
+but costs only ~0.16% extra SRAM (~0.09% with partial-tag leaders).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.tag_array import ShadowOutcome, TagArray, identity_tag
+from repro.core.history import BitVectorHistory, MissHistory
+from repro.policies.base import ReplacementPolicy, SetView
+from repro.utils.bitops import mask
+
+
+def spread_leader_sets(num_sets: int, num_leaders: int) -> List[int]:
+    """Evenly spaced leader set indices."""
+    if not 0 < num_leaders <= num_sets:
+        raise ValueError(
+            f"num_leaders must be in (0, {num_sets}], got {num_leaders}"
+        )
+    stride = num_sets // num_leaders
+    return [i * stride for i in range(num_leaders)]
+
+
+class SbarPolicy(ReplacementPolicy):
+    """Set-sampling adaptive replacement over two component policies.
+
+    Args:
+        num_sets: cache geometry.
+        ways: cache associativity.
+        resident_components: two policy instances sized to the *full*
+            cache; they track metadata for the blocks actually resident
+            and supply victims for follower sets.
+        shadow_components: two policy instances sized to
+            ``num_leaders`` sets; they manage the leaders' parallel tag
+            arrays.
+        num_leaders: number of leader sets (16 reproduces the paper's
+            0.16% overhead figure).
+        tag_transform: full or partial tags for the leader shadows.
+        psel_bits: width of the global saturating selector.
+    """
+
+    name = "sbar"
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        resident_components: List[ReplacementPolicy],
+        shadow_components: List[ReplacementPolicy],
+        num_leaders: int = 16,
+        tag_transform: Callable[[int], int] = identity_tag,
+        history_factory: Optional[Callable[[int], MissHistory]] = None,
+        psel_bits: int = 10,
+    ):
+        super().__init__(num_sets, ways)
+        if len(resident_components) != 2 or len(shadow_components) != 2:
+            raise ValueError("SBAR adapts over exactly two components")
+        for component in resident_components:
+            if component.num_sets != num_sets or component.ways != ways:
+                raise ValueError(
+                    f"resident component {component.name!r} must span the "
+                    f"full cache ({num_sets}x{ways})"
+                )
+        for component in shadow_components:
+            if component.num_sets != num_leaders or component.ways != ways:
+                raise ValueError(
+                    f"shadow component {component.name!r} must span the "
+                    f"leader sets ({num_leaders}x{ways})"
+                )
+        self.resident = list(resident_components)
+        self.tag_transform = tag_transform
+        self.name = "sbar(" + "+".join(c.name for c in self.resident) + ")"
+
+        leaders = spread_leader_sets(num_sets, num_leaders)
+        self._leader_slot: Dict[int, int] = {s: i for i, s in enumerate(leaders)}
+        self.shadows = [
+            TagArray(num_leaders, ways, component, tag_transform)
+            for component in shadow_components
+        ]
+        if history_factory is None:
+            history_factory = lambda n: BitVectorHistory(n, window=ways)
+        self.histories = [history_factory(2) for _ in range(num_leaders)]
+
+        if psel_bits <= 1:
+            raise ValueError(f"psel_bits must be > 1, got {psel_bits}")
+        self._psel_max = mask(psel_bits)
+        self._psel = (self._psel_max + 1) // 2
+        self._psel_mid = self._psel
+
+        self._last_outcomes: List[ShadowOutcome] = []
+        self._last_set = -1
+        self.leader_evictions = 0
+        self.follower_evictions = 0
+        self.fallback_evictions = 0
+        # Recency stamps for the aliasing fallback in leader sets.
+        self._clock = 0
+        self._stamp = [[0] * ways for _ in range(num_sets)]
+
+    @property
+    def leader_sets(self) -> List[int]:
+        """Indices of the leader sets."""
+        return sorted(self._leader_slot)
+
+    def selected_component(self) -> int:
+        """Component the global selector currently favours."""
+        return 1 if self._psel > self._psel_mid else 0
+
+    # ------------------------------------------------------------------
+    # ReplacementPolicy events
+    # ------------------------------------------------------------------
+
+    def observe(self, set_index: int, tag: int, is_write: bool) -> None:
+        self._last_set = set_index
+        slot = self._leader_slot.get(set_index)
+        if slot is None:
+            self._last_outcomes = []
+            return
+        outcomes = [
+            shadow.lookup_update(slot, tag, is_write) for shadow in self.shadows
+        ]
+        missed = [o.missed for o in outcomes]
+        self.histories[slot].record(missed)
+        if missed[0] != missed[1]:
+            # A decisive miss is evidence against the missing component.
+            if missed[0] and self._psel < self._psel_max:
+                self._psel += 1
+            elif missed[1] and self._psel > 0:
+                self._psel -= 1
+        self._last_outcomes = outcomes
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._check_slot(set_index, way)
+        for component in self.resident:
+            component.on_hit(set_index, way)
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+
+    def on_fill(self, set_index: int, way: int, tag: int) -> None:
+        self._check_slot(set_index, way)
+        for component in self.resident:
+            component.on_fill(set_index, way, tag)
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._check_slot(set_index, way)
+        for component in self.resident:
+            component.on_invalidate(set_index, way)
+
+    def victim(self, set_index: int, set_view: SetView) -> int:
+        slot = self._leader_slot.get(set_index)
+        if slot is None:
+            self.follower_evictions += 1
+            chosen = self.selected_component()
+            return self.resident[chosen].victim(set_index, set_view)
+        self.leader_evictions += 1
+        return self._leader_victim(set_index, slot, set_view)
+
+    # ------------------------------------------------------------------
+    # Leader-set adaptive logic (Algorithm 1, scoped to the leaders)
+    # ------------------------------------------------------------------
+
+    def _leader_victim(self, set_index: int, slot: int, set_view: SetView) -> int:
+        if set_index != self._last_set or not self._last_outcomes:
+            raise RuntimeError(
+                "victim() called without a preceding observe() for leader "
+                f"set {set_index}"
+            )
+        chosen = self.histories[slot].best_component()
+        outcome = self._last_outcomes[chosen]
+        shadow = self.shadows[chosen]
+
+        if outcome.missed and outcome.victim_tag is not None:
+            for way in set_view.valid_ways():
+                if self.tag_transform(set_view.tag_at(way)) == outcome.victim_tag:
+                    return way
+        for way in set_view.valid_ways():
+            stored = self.tag_transform(set_view.tag_at(way))
+            if not shadow.contains_stored(slot, stored):
+                return way
+        self.fallback_evictions += 1
+        stamps = self._stamp[set_index]
+        return min(set_view.valid_ways(), key=stamps.__getitem__)

@@ -1,0 +1,228 @@
+"""Shared experiment infrastructure: setups, policy specs, caching.
+
+The paper's evaluation runs 100M-instruction SimPoint samples against a
+512 KB L2. A pure-Python reproduction of that exact scale takes hours,
+so experiments default to a *scaled* configuration — a 64 KB L2 with
+footprints scaled accordingly (workload recipes size themselves
+relative to the cache) and ~60K memory references per workload. The
+``paper`` setup restores Table 1's geometry for users with patience;
+the ``mini`` setup further shrinks things for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.core.multi import five_policy_adaptive, make_adaptive
+from repro.core.partial import PartialTagScheme
+from repro.core.sbar import SbarPolicy
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.timing import CompiledWorkload, TimingResult, compile_workload, simulate
+from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import make_policy
+from repro.workloads.suite import build_workload, workload_names
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class Setup:
+    """One experiment scale: cache geometry, processor, trace length."""
+
+    name: str
+    l2: CacheConfig
+    processor: ProcessorConfig
+    accesses: int
+
+    def workloads(self, primary_only: bool = True) -> List[str]:
+        """Suite workload names for this setup."""
+        return workload_names(primary_only)
+
+
+def make_setup(scale: str = "scaled", accesses: Optional[int] = None) -> Setup:
+    """Build a named setup: ``mini``, ``scaled`` (default) or ``paper``."""
+    if scale == "paper":
+        l2 = CacheConfig(size_bytes=512 * 1024, ways=8, line_bytes=64,
+                         hit_latency=15)
+        l1 = CacheConfig(size_bytes=16 * 1024, ways=4, line_bytes=64,
+                         hit_latency=2)
+        default_accesses = 1_000_000
+    elif scale == "scaled":
+        l2 = CacheConfig(size_bytes=64 * 1024, ways=8, line_bytes=64,
+                         hit_latency=15)
+        l1 = CacheConfig(size_bytes=4 * 1024, ways=4, line_bytes=64,
+                         hit_latency=2)
+        default_accesses = 60_000
+    elif scale == "mini":
+        l2 = CacheConfig(size_bytes=16 * 1024, ways=8, line_bytes=64,
+                         hit_latency=15)
+        l1 = CacheConfig(size_bytes=2 * 1024, ways=4, line_bytes=64,
+                         hit_latency=2)
+        default_accesses = 12_000
+    else:
+        raise ValueError(f"unknown scale {scale!r}; use mini, scaled or paper")
+    processor = ProcessorConfig(l1d=l1, l1i=l1, l2=l2)
+    return Setup(
+        name=scale, l2=l2, processor=processor,
+        accesses=accesses or default_accesses,
+    )
+
+
+def build_l2_policy(
+    config: CacheConfig,
+    kind: str,
+    components: Sequence[str] = ("lru", "lfu"),
+    partial_bits: Optional[int] = None,
+    num_leaders: int = 16,
+    seed: int = 0,
+) -> ReplacementPolicy:
+    """Construct an L2 policy from a short spec.
+
+    Args:
+        kind: a registry policy name (``"lru"``, ``"lfu"``, ...),
+            ``"adaptive"``, ``"adaptive5"`` or ``"sbar"``.
+        components: component names for the adaptive kinds.
+        partial_bits: partial tag width for the shadow arrays
+            (None = full tags).
+        num_leaders: leader set count for SBAR.
+    """
+    transform = PartialTagScheme(partial_bits) if partial_bits else None
+    if kind == "adaptive":
+        kwargs = {"tag_transform": transform} if transform else {}
+        return make_adaptive(
+            config.num_sets, config.ways, tuple(components), seed=seed, **kwargs
+        )
+    if kind == "adaptive5":
+        kwargs = {"tag_transform": transform} if transform else {}
+        return five_policy_adaptive(config.num_sets, config.ways,
+                                    seed=seed, **kwargs)
+    if kind == "sbar":
+        if len(components) != 2:
+            raise ValueError("sbar adapts over exactly two components")
+        resident = [
+            make_policy(name, config.num_sets, config.ways)
+            for name in components
+        ]
+        leaders = min(num_leaders, config.num_sets)
+        shadow = [make_policy(name, leaders, config.ways) for name in components]
+        kwargs = {"tag_transform": transform} if transform else {}
+        return SbarPolicy(
+            config.num_sets, config.ways, resident, shadow,
+            num_leaders=leaders, **kwargs,
+        )
+    return make_policy(kind, config.num_sets, config.ways)
+
+
+class WorkloadCache:
+    """Caches built traces and compiled workloads per setup.
+
+    Compiling a workload (L1 filter + predictors) is the expensive,
+    L2-policy-independent phase; experiments that sweep policies or tag
+    widths share one compile per workload through this cache.
+    """
+
+    def __init__(self, setup: Setup):
+        self.setup = setup
+        self._traces: Dict[str, Trace] = {}
+        self._compiled: Dict[str, CompiledWorkload] = {}
+
+    def trace(self, name: str) -> Trace:
+        """The workload's trace, built on first use."""
+        if name not in self._traces:
+            self._traces[name] = build_workload(
+                name, self.setup.l2, accesses=self.setup.accesses
+            )
+        return self._traces[name]
+
+    def compiled(self, name: str) -> CompiledWorkload:
+        """The workload's compiled (L1-filtered) form, built on first use."""
+        if name not in self._compiled:
+            self._compiled[name] = compile_workload(
+                self.trace(name), self.setup.processor
+            )
+        return self._compiled[name]
+
+    def simulate_policy(
+        self,
+        name: str,
+        policy_kind: str,
+        processor: Optional[ProcessorConfig] = None,
+        l2_config: Optional[CacheConfig] = None,
+        **policy_kwargs,
+    ) -> TimingResult:
+        """Compile-once, simulate one policy spec on one workload."""
+        processor = processor or self.setup.processor
+        l2_config = l2_config or self.setup.l2
+        policy = build_l2_policy(l2_config, policy_kind, **policy_kwargs)
+        cache = SetAssociativeCache(l2_config, policy)
+        return simulate(self.compiled(name), cache, processor)
+
+
+def run_policy_sweep(
+    cache: WorkloadCache,
+    workloads: Sequence[str],
+    policy_specs: Dict[str, dict],
+    processor: Optional[ProcessorConfig] = None,
+    l2_config: Optional[CacheConfig] = None,
+) -> Dict[str, Dict[str, TimingResult]]:
+    """Simulate every (workload, policy spec) pair.
+
+    ``policy_specs`` maps a display label to ``simulate_policy`` kwargs,
+    e.g. ``{"Adaptive": {"policy_kind": "adaptive"}, "LRU":
+    {"policy_kind": "lru"}}``. Returns ``{workload: {label: result}}``.
+    """
+    results: Dict[str, Dict[str, TimingResult]] = {}
+    for name in workloads:
+        results[name] = {}
+        for label, kwargs in policy_specs.items():
+            results[name][label] = cache.simulate_policy(
+                name, processor=processor, l2_config=l2_config, **kwargs
+            )
+    return results
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure, plus summary notes."""
+
+    experiment: str
+    description: str
+    headers: List[str]
+    rows: List[List] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row (width-checked at render time)."""
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form summary line."""
+        self.notes.append(note)
+
+    def column(self, header: str) -> List:
+        """All values of the named column."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_by_label(self, label) -> List:
+        """The first row whose first cell equals ``label``."""
+        for row in self.rows:
+            if row[0] == label:
+                return row
+        raise KeyError(f"no row labeled {label!r}")
+
+    def render(self, float_digits: int = 3) -> str:
+        """Human-readable report: title, table, notes."""
+        parts = [
+            render_table(
+                self.headers,
+                self.rows,
+                float_digits=float_digits,
+                title=f"{self.experiment}: {self.description}",
+            )
+        ]
+        parts.extend(self.notes)
+        return "\n".join(parts)

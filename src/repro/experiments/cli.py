@@ -1,0 +1,168 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples::
+
+    repro-experiments fig3                 # scaled-down default
+    repro-experiments fig4 --scale paper   # Table 1 geometry (slow)
+    repro-experiments all --scale mini     # everything, quickly
+    repro-experiments fig7 --render-map    # ASCII Figure 7 maps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import base
+from repro.experiments import (
+    ablations,
+    ext_dip,
+    ext_prefetch,
+    ext_skew,
+    ext_validate,
+    ext_shared,
+    fig3_mpki,
+    fig4_cpi,
+    fig5_partial_tags,
+    fig6_capacity,
+    fig7_setmaps,
+    fig8_fifo_mru,
+    fig9_associativity,
+    fig10_store_buffer,
+    sec44_five_policy,
+    sec46_l1,
+    seed_sensitivity,
+    sec47_sbar,
+    storage,
+    theory,
+)
+
+EXPERIMENTS = {
+    "fig3": fig3_mpki,
+    "fig4": fig4_cpi,
+    "fig5": fig5_partial_tags,
+    "fig6": fig6_capacity,
+    "fig7": fig7_setmaps,
+    "fig8": fig8_fifo_mru,
+    "fig9": fig9_associativity,
+    "fig10": fig10_store_buffer,
+    "sec44": sec44_five_policy,
+    "sec46": sec46_l1,
+    "sec47": sec47_sbar,
+    "storage": storage,
+    "theory": theory,
+    "ablations": ablations,
+    "ext-shared": ext_shared,
+    "ext-prefetch": ext_prefetch,
+    "ext-dip": ext_dip,
+    "ext-skew": ext_skew,
+    "ext-validate": ext_validate,
+    "seeds": seed_sensitivity,
+}
+
+# Experiments whose run() does not take a Setup.
+_SETUP_FREE = {"storage", "theory"}
+
+
+def _run_result(name: str, args: argparse.Namespace):
+    module = EXPERIMENTS[name]
+    if name in _SETUP_FREE:
+        return module.run()
+    setup = base.make_setup(args.scale, accesses=args.accesses)
+    kwargs = {}
+    if args.workloads and name not in ("fig7", "ext-shared", "ext-skew"):
+        kwargs["workloads"] = args.workloads
+    return module.run(setup=setup, **kwargs)
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    result = _run_result(name, args)
+    text = result.render()
+    if name == "fig7" and args.render_map:
+        for workload in ("ammp", "mgrid"):
+            setup = base.make_setup(args.scale, accesses=args.accesses)
+            setmap, _policy = fig7_setmaps.collect(workload, setup)
+            text += (
+                f"\n\n{workload} per-set map "
+                "('#'=LRU-majority, '.'=LFU-majority):\n"
+            )
+            text += setmap.render()
+    return text
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of 'Adaptive "
+        "Caches: Effective Shaping of Cache Behavior to Workloads' "
+        "(MICRO 2006).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="which table/figure to regenerate ('report' writes a "
+        "markdown report of everything)",
+    )
+    parser.add_argument(
+        "--out",
+        default="reproduction-report.md",
+        help="output path for the 'report' command",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["mini", "scaled", "paper"],
+        default="scaled",
+        help="cache geometry and trace length (default: scaled)",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=None,
+        help="memory references per workload (default: per-scale)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="restrict to these suite workloads",
+    )
+    parser.add_argument(
+        "--render-map",
+        action="store_true",
+        help="with fig7: also print the ASCII per-set maps",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from repro.analysis.report import build_report
+
+        results = [
+            _run_result(name, args) for name in sorted(EXPERIMENTS)
+        ]
+        text = build_report(
+            results,
+            title="Adaptive Caches (MICRO 2006) — reproduction report",
+            preamble=[
+                f"Scale: `{args.scale}`"
+                + (f", {args.accesses} references/workload"
+                   if args.accesses else ""),
+                "Regenerate with `repro-experiments report --scale "
+                f"{args.scale}`.",
+            ],
+        )
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_run_one(name, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

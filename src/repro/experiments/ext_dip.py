@@ -1,0 +1,77 @@
+"""Extension: a DIP-like design inside the paper's framework.
+
+The paper's set-sampling experiment (Section 4.7, after Qureshi et
+al.'s SBAR) is the direct ancestor of DIP (Qureshi et al., ISCA 2007):
+set dueling between LRU and the thrash-resistant Bimodal Insertion
+Policy. Because our adaptivity machinery is policy-agnostic, DIP falls
+out of it: :class:`~repro.core.sbar.SbarPolicy` over (LRU, BIP) *is* a
+DIP-like cache. This experiment compares it against plain LRU, plain
+BIP, the paper's LRU/LFU adaptive cache, and full-shadow LRU/BIP
+adaptivity, on the thrash-prone and recency-friendly halves of the
+suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import arithmetic_mean, percent_reduction
+from repro.experiments.base import (
+    ExperimentResult,
+    Setup,
+    WorkloadCache,
+    make_setup,
+    run_policy_sweep,
+)
+
+# Loop-thrashing programs (where BIP shines) + recency-friendly ones
+# (where naive BIP loses and the duel must pick LRU).
+DEFAULT_WORKLOADS = ["art-1", "art-2", "gcc-1", "equake", "lucas",
+                     "gcc-2", "parser", "bzip2"]
+
+POLICY_SPECS = {
+    "DIP-like (sbar lru+bip)": {"policy_kind": "sbar",
+                                "components": ("lru", "bip")},
+    "Adaptive (lru+bip)": {"policy_kind": "adaptive",
+                           "components": ("lru", "bip")},
+    "Adaptive (lru+lfu)": {"policy_kind": "adaptive",
+                           "components": ("lru", "lfu")},
+    "BIP": {"policy_kind": "bip"},
+    "LRU": {"policy_kind": "lru"},
+}
+
+
+def run(
+    setup: Optional[Setup] = None,
+    workloads: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """MPKI of DIP-like set dueling vs this paper's adaptivity."""
+    setup = setup or make_setup()
+    cache = WorkloadCache(setup)
+    workloads = list(workloads or DEFAULT_WORKLOADS)
+    sweep = run_policy_sweep(cache, workloads, POLICY_SPECS)
+
+    result = ExperimentResult(
+        experiment="ext-dip",
+        description="DIP-style set dueling expressed in this paper's "
+        "framework (MPKI, lower is better)",
+        headers=["benchmark"] + list(POLICY_SPECS),
+    )
+    for name in workloads:
+        result.add_row(name, *(sweep[name][p].mpki for p in POLICY_SPECS))
+    averages = {
+        p: arithmetic_mean([sweep[name][p].mpki for name in workloads])
+        for p in POLICY_SPECS
+    }
+    result.add_row("Average", *(averages[p] for p in POLICY_SPECS))
+    result.add_note(
+        "DIP-like vs LRU: "
+        f"{percent_reduction(averages['LRU'], averages['DIP-like (sbar lru+bip)']):+.1f}% "
+        "average MPKI — set dueling over (LRU, BIP) emerges from the "
+        "paper's machinery with zero new mechanism."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,71 @@
+"""Figure 5: effect of partial-tag width on average MPKI and CPI.
+
+Paper result: partial tags of 6 bits or more change average MPKI/CPI by
+under 1% relative to full tags; 4-bit tags visibly degrade. With 8-bit
+tags the CPI improvement is 12.7% vs 12.9% for full tags.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.experiments.base import (
+    ExperimentResult,
+    Setup,
+    WorkloadCache,
+    make_setup,
+)
+
+TAG_WIDTHS = (None, 12, 10, 8, 6, 4)  # None = full tags
+
+
+def run(
+    setup: Optional[Setup] = None,
+    workloads: Optional[Sequence[str]] = None,
+    tag_widths: Sequence[Optional[int]] = TAG_WIDTHS,
+) -> ExperimentResult:
+    """Reproduce Figure 5's percent-increase-vs-full-tags series."""
+    setup = setup or make_setup()
+    cache = WorkloadCache(setup)
+    workloads = list(workloads or setup.workloads(primary_only=True))
+
+    averages = {}
+    for bits in tag_widths:
+        mpkis = []
+        cpis = []
+        for name in workloads:
+            res = cache.simulate_policy(
+                name, "adaptive", components=("lru", "lfu"), partial_bits=bits
+            )
+            mpkis.append(res.mpki)
+            cpis.append(res.cpi)
+        averages[bits] = (arithmetic_mean(mpkis), arithmetic_mean(cpis))
+
+    full_mpki, full_cpi = averages[None]
+    result = ExperimentResult(
+        experiment="fig5",
+        description="Impact of partial tags on average MPKI/CPI "
+        "(percent increase vs full tags; lower is better)",
+        headers=["tag width", "avg MPKI", "avg CPI",
+                 "MPKI increase %", "CPI increase %"],
+    )
+    for bits in tag_widths:
+        mpki, cpi = averages[bits]
+        label = "full" if bits is None else f"{bits}-bit"
+        result.add_row(
+            label,
+            mpki,
+            cpi,
+            100.0 * (mpki - full_mpki) / full_mpki,
+            100.0 * (cpi - full_cpi) / full_cpi,
+        )
+    result.add_note(
+        "Paper: <1% difference for 6-bit or wider partial tags; 8-bit "
+        "tags give 12.7% CPI improvement vs full tags' 12.9%."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

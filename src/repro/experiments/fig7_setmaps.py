@@ -1,0 +1,83 @@
+"""Figure 7: time- and space-varying behaviour of ammp and mgrid.
+
+Paper result: ammp starts with a per-set mix of LRU- and LFU-favourable
+decisions, goes through a clearly LFU-dominant middle phase, and ends
+LRU-dominant; mgrid begins LFU-favourable and fades to LRU at a
+per-set-varying rate. The maps demonstrate why adaptivity can beat both
+components: the best policy differs across sets and across time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.setmap import SetMap, collect_setmap
+from repro.cache.cache import SetAssociativeCache
+from repro.core.multi import make_adaptive
+from repro.experiments.base import ExperimentResult, Setup, WorkloadCache, make_setup
+
+LRU_COMPONENT = 0
+LFU_COMPONENT = 1
+
+
+def collect(name: str, setup: Optional[Setup] = None, samples: int = 12):
+    """Build the Figure 7 map for one workload.
+
+    Returns ``(SetMap, AdaptivePolicy)`` — the policy's shadow counters
+    carry the per-set component-preference data the disagreement
+    analysis uses.
+    """
+    setup = setup or make_setup()
+    cache_ws = WorkloadCache(setup)
+    trace = cache_ws.trace(name)
+    policy = make_adaptive(setup.l2.num_sets, setup.l2.ways, ("lru", "lfu"))
+    cache = SetAssociativeCache(setup.l2, policy)
+    memory_references = trace.memory_access_count()
+    sample_every = max(1, memory_references // samples)
+    return collect_setmap(trace, cache, sample_every=sample_every), policy
+
+
+def run(setup: Optional[Setup] = None, samples: int = 12) -> ExperimentResult:
+    """Reproduce Figure 7: per-quantum LFU-decision fractions.
+
+    The paper's figure is an image (black = LRU-majority set, white =
+    LFU); the table reports the LFU fraction per time quantum, which
+    captures the same phase structure numerically. Use :func:`collect`
+    and ``SetMap.render()`` for the ASCII picture itself.
+    """
+    setup = setup or make_setup()
+    result = ExperimentResult(
+        experiment="fig7",
+        description="Fraction of sets whose replacement decisions "
+        "followed LFU, per time quantum (ammp/mgrid phase behaviour)",
+        headers=["workload"] + [f"q{i}" for i in range(samples)],
+    )
+    for name in ("ammp", "mgrid"):
+        setmap, policy = collect(name, setup, samples)
+        fractions = [
+            setmap.component_fraction(LFU_COMPONENT, sample=t)
+            for t in range(min(samples, setmap.num_samples))
+        ]
+        fractions += [0.0] * (samples - len(fractions))
+        result.add_row(name, *fractions)
+        from repro.analysis.pressure import component_disagreement
+
+        report = component_disagreement(
+            policy.shadows[LRU_COMPONENT].per_set_misses,
+            policy.shadows[LFU_COMPONENT].per_set_misses,
+        )
+        result.add_note(
+            f"{name}: {report.prefer_first} sets prefer LRU, "
+            f"{report.prefer_second} prefer LFU "
+            f"(disagreement {report.disagreement:.2f}) — the per-set "
+            "split that lets adaptivity beat both components at once."
+        )
+    result.add_note(
+        "Paper: ammp mixes per set early, turns LFU-dominant mid-run, "
+        "then LRU-dominant; mgrid starts LFU-favourable and fades to LRU."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,75 @@
+"""Figure 9: adaptive benefit vs set associativity.
+
+Paper result: with capacity fixed at 512 KB, the adaptive policy's
+benefit (average CPI improvement and miss reduction vs LRU) holds from
+4-way through 32-way and *increases slightly* at high associativities
+(16/32-way), suggesting effectiveness for future highly-associative
+last-level caches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import arithmetic_mean, percent_reduction
+from repro.experiments.base import (
+    ExperimentResult,
+    Setup,
+    WorkloadCache,
+    make_setup,
+)
+
+ASSOCIATIVITIES = (4, 8, 16, 32)
+
+
+def run(
+    setup: Optional[Setup] = None,
+    workloads: Optional[Sequence[str]] = None,
+    associativities: Sequence[int] = ASSOCIATIVITIES,
+) -> ExperimentResult:
+    """Reproduce Figure 9's benefit-vs-associativity series.
+
+    Capacity stays fixed, so doubling the ways halves the sets, exactly
+    as in the paper ("the 16-way cache has only half as many sets as the
+    baseline 8-way cache"). Workload traces are generated once against
+    the baseline geometry and replayed against every variant.
+    """
+    setup = setup or make_setup()
+    cache = WorkloadCache(setup)
+    workloads = list(workloads or setup.workloads(primary_only=True))
+
+    result = ExperimentResult(
+        experiment="fig9",
+        description="Adaptive benefit vs associativity "
+        "(capacity fixed; higher is better)",
+        headers=["ways", "CPI improvement %", "miss reduction %"],
+    )
+    for ways in associativities:
+        l2_config = setup.l2.scaled(ways=ways)
+        lru_cpis, adp_cpis = [], []
+        lru_misses, adp_misses = [], []
+        for name in workloads:
+            lru = cache.simulate_policy(name, "lru", l2_config=l2_config)
+            adp = cache.simulate_policy(name, "adaptive", l2_config=l2_config)
+            lru_cpis.append(lru.cpi)
+            adp_cpis.append(adp.cpi)
+            lru_misses.append(lru.l2_misses)
+            adp_misses.append(adp.l2_misses)
+        result.add_row(
+            ways,
+            percent_reduction(
+                arithmetic_mean(lru_cpis), arithmetic_mean(adp_cpis)
+            ),
+            percent_reduction(
+                arithmetic_mean(lru_misses), arithmetic_mean(adp_misses)
+            ),
+        )
+    result.add_note(
+        "Paper: benefit is robust across 4..32 ways and increases "
+        "slightly for 16- and 32-way caches."
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

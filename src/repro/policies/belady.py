@@ -1,0 +1,63 @@
+"""Belady's optimal (OPT/MIN) offline replacement, for reference bounds.
+
+OPT is not implementable in hardware (it needs future knowledge) and is
+not part of the paper's design, but it gives the tests and benchmarks an
+absolute floor: no online policy — including the adaptive one — can miss
+less than OPT on the same trace and geometry.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+
+def belady_misses(block_addresses: Sequence[int], num_sets: int, ways: int) -> int:
+    """Count misses of Belady's OPT on a block-address trace.
+
+    Args:
+        block_addresses: sequence of block numbers (addresses already
+            shifted right by the line-offset bits).
+        num_sets: number of cache sets; the set index is
+            ``block % num_sets`` as in a conventional cache.
+        ways: associativity.
+
+    Returns:
+        Total number of misses (fills) across all sets.
+    """
+    if num_sets <= 0 or ways <= 0:
+        raise ValueError("num_sets and ways must be positive")
+
+    per_set = defaultdict(list)
+    for block in block_addresses:
+        per_set[block % num_sets].append(block)
+
+    total_misses = 0
+    for accesses in per_set.values():
+        total_misses += _opt_misses_one_set(accesses, ways)
+    return total_misses
+
+
+def _opt_misses_one_set(accesses: Sequence[int], ways: int) -> int:
+    """OPT miss count for a single fully-associative set of ``ways`` slots."""
+    never = len(accesses) + 1
+    # next_use[i] = index of the next access to the same block after i.
+    next_use = [never] * len(accesses)
+    last_seen = {}
+    for i in range(len(accesses) - 1, -1, -1):
+        block = accesses[i]
+        next_use[i] = last_seen.get(block, never)
+        last_seen[block] = i
+
+    resident = {}  # block -> next use index
+    misses = 0
+    for i, block in enumerate(accesses):
+        if block in resident:
+            resident[block] = next_use[i]
+            continue
+        misses += 1
+        if len(resident) >= ways:
+            farthest = max(resident, key=resident.__getitem__)
+            del resident[farthest]
+        resident[block] = next_use[i]
+    return misses

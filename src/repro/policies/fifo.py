@@ -1,0 +1,32 @@
+"""First-In-First-Out replacement."""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, SetView
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """FIFO: evict the valid block that was *installed* longest ago.
+
+    Identical bookkeeping to LRU except that hits do not refresh the
+    stamp, so a block's priority is fixed at fill time.
+    """
+
+    name = "fifo"
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._clock = 0
+        self._fill_stamp = [[0] * ways for _ in range(num_sets)]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._check_slot(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, tag: int) -> None:
+        self._check_slot(set_index, way)
+        self._clock += 1
+        self._fill_stamp[set_index][way] = self._clock
+
+    def victim(self, set_index: int, set_view: SetView) -> int:
+        stamps = self._fill_stamp[set_index]
+        return min(set_view.valid_ways(), key=stamps.__getitem__)

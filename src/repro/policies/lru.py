@@ -1,0 +1,47 @@
+"""Least-Recently-Used replacement."""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, SetView
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU: evict the valid block touched longest ago.
+
+    Recency is tracked with a monotonically increasing per-cache stamp;
+    both hits and fills refresh a block's stamp. Victim selection scans
+    the (small) set for the minimum stamp, which matches how hardware
+    recency state is consulted and keeps hits O(1).
+    """
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._clock = 0
+        self._stamp = [[0] * ways for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_index][way] = self._clock
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._check_slot(set_index, way)
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, tag: int) -> None:
+        self._check_slot(set_index, way)
+        self._touch(set_index, way)
+
+    def victim(self, set_index: int, set_view: SetView) -> int:
+        stamps = self._stamp[set_index]
+        return min(set_view.valid_ways(), key=stamps.__getitem__)
+
+    def recency_order(self, set_index: int, set_view: SetView) -> list:
+        """Ways of the set ordered least- to most-recently used.
+
+        Exposed for the adaptive policy's "keep a recency order" shortcut
+        (Section 3.3) and for tests of the LRU stack property.
+        """
+        stamps = self._stamp[set_index]
+        return sorted(set_view.valid_ways(), key=stamps.__getitem__)

@@ -1,0 +1,30 @@
+"""Random replacement."""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, SetView
+from repro.utils.rng import DeterministicRNG
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random valid block.
+
+    Draws from a :class:`DeterministicRNG` so simulations are repeatable;
+    the seed is part of the policy's identity.
+    """
+
+    name = "random"
+
+    def __init__(self, num_sets: int, ways: int, seed: int = 0):
+        super().__init__(num_sets, ways)
+        self._rng = DeterministicRNG(seed)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._check_slot(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, tag: int) -> None:
+        self._check_slot(set_index, way)
+
+    def victim(self, set_index: int, set_view: SetView) -> int:
+        candidates = set_view.valid_ways()
+        return candidates[self._rng.choice_index(len(candidates))]

@@ -1,0 +1,59 @@
+"""Name-based policy construction.
+
+Experiments, benchmarks and the CLI refer to policies by name
+(``"lru"``, ``"lfu"``, ...). The registry maps those names to factories
+so a policy combination like the paper's LRU/LFU adaptive cache can be
+specified as plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.policies.base import ReplacementPolicy
+from repro.policies.bip import BIPPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.mru import MRUPolicy
+from repro.policies.rand import RandomPolicy
+from repro.policies.srrip import SRRIPPolicy
+
+PolicyFactory = Callable[..., ReplacementPolicy]
+
+_REGISTRY: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register ``factory`` under ``name``; overwriting is an error."""
+    if name in _REGISTRY:
+        raise ValueError(f"policy {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_policies() -> List[str]:
+    """Sorted names of all registered policies."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, num_sets: int, ways: int, **kwargs) -> ReplacementPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    Extra keyword arguments are forwarded to the policy constructor
+    (e.g. ``counter_bits`` for LFU, ``seed`` for Random).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_policies())
+        raise ValueError(f"unknown policy {name!r}; known: {known}") from None
+    return factory(num_sets, ways, **kwargs)
+
+
+register_policy("lru", LRUPolicy)
+register_policy("lfu", LFUPolicy)
+register_policy("fifo", FIFOPolicy)
+register_policy("mru", MRUPolicy)
+register_policy("random", RandomPolicy)
+register_policy("srrip", SRRIPPolicy)
+register_policy("bip", BIPPolicy)

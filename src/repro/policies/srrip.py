@@ -1,0 +1,50 @@
+"""Static Re-Reference Interval Prediction (SRRIP).
+
+SRRIP post-dates the paper (Jaleel et al., ISCA 2010); it is included as
+an extension component to demonstrate the paper's claim that *any*
+replacement algorithm can serve as a component of the adaptive scheme
+(Section 5: "any advanced caching algorithm can be used as a component
+algorithm in an adaptive cache implementation").
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, SetView
+from repro.utils.bitops import mask
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """SRRIP with M-bit re-reference prediction values (RRPV).
+
+    Fills insert with a "long" re-reference prediction (max-1); hits
+    promote to "near-immediate" (0). The victim is any block with the
+    maximal RRPV; if none exists, all RRPVs age until one saturates.
+    """
+
+    name = "srrip"
+
+    def __init__(self, num_sets: int, ways: int, rrpv_bits: int = 2):
+        super().__init__(num_sets, ways)
+        if rrpv_bits <= 0:
+            raise ValueError(f"rrpv_bits must be positive, got {rrpv_bits}")
+        self.rrpv_bits = rrpv_bits
+        self._max_rrpv = mask(rrpv_bits)
+        self._rrpv = [[self._max_rrpv] * ways for _ in range(num_sets)]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._check_slot(set_index, way)
+        self._rrpv[set_index][way] = 0
+
+    def on_fill(self, set_index: int, way: int, tag: int) -> None:
+        self._check_slot(set_index, way)
+        self._rrpv[set_index][way] = self._max_rrpv - 1
+
+    def victim(self, set_index: int, set_view: SetView) -> int:
+        rrpvs = self._rrpv[set_index]
+        candidates = set_view.valid_ways()
+        while True:
+            for way in candidates:
+                if rrpvs[way] == self._max_rrpv:
+                    return way
+            for way in candidates:
+                rrpvs[way] += 1

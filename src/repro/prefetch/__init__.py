@@ -1,0 +1,26 @@
+"""Adaptive hybrid prefetching — the paper's Section 6 future work.
+
+The conclusions propose extending the adaptivity scheme to hybrid
+hardware prefetchers, with "hit/miss replaced by useful/not-useful
+prefetch". This package realizes that: component prefetchers (next-line
+and stride) generate candidate prefetches, a usefulness history — the
+same sliding-window machinery as the cache's miss history — scores each
+component, and the hybrid issues only the currently-better component's
+prefetches.
+"""
+
+from repro.prefetch.base import Prefetcher, PrefetchRequest
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.hybrid import AdaptiveHybridPrefetcher
+from repro.prefetch.engine import PrefetchingCache, PrefetchStats
+
+__all__ = [
+    "Prefetcher",
+    "PrefetchRequest",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "AdaptiveHybridPrefetcher",
+    "PrefetchingCache",
+    "PrefetchStats",
+]

@@ -1,0 +1,40 @@
+"""The prefetcher interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """One candidate prefetch.
+
+    Attributes:
+        block: line-granular address to fetch.
+        source: name of the component prefetcher that proposed it (the
+            hybrid uses this to attribute usefulness).
+    """
+
+    block: int
+    source: str
+
+
+class Prefetcher(abc.ABC):
+    """Base class for hardware prefetchers.
+
+    A prefetcher observes the demand-access stream at line granularity
+    and proposes blocks to fetch ahead of need. Proposals are
+    *candidates*: the issuing engine applies its own budget and filters
+    (already-resident, in-flight) before touching the cache.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def observe(self, block: int, was_hit: bool) -> List[PrefetchRequest]:
+        """React to a demand access to ``block``; return candidates."""
+
+    def reset(self) -> None:
+        """Clear learned state. Default: no-op."""

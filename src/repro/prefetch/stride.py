@@ -1,0 +1,86 @@
+"""Region-based stride prefetching."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.prefetch.base import Prefetcher, PrefetchRequest
+
+
+class _RegionEntry:
+    """Stride-detection state for one address region."""
+
+    __slots__ = ("last_block", "stride", "confidence")
+
+    def __init__(self, block: int):
+        self.last_block = block
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher(Prefetcher):
+    """Detects constant strides within address regions.
+
+    Without per-instruction PCs in the L2-visible stream, strides are
+    learned per *region* (the high bits of the block address), the way
+    stream-buffer style prefetchers do. Two consecutive accesses to a
+    region with the same delta train the entry; once confidence reaches
+    the threshold, the prefetcher runs ``degree`` strides ahead.
+    """
+
+    name = "stride"
+
+    def __init__(
+        self,
+        region_bits: int = 8,
+        table_entries: int = 64,
+        degree: int = 2,
+        confidence_threshold: int = 2,
+    ):
+        if region_bits <= 0 or table_entries <= 0 or degree <= 0:
+            raise ValueError("region_bits, table_entries and degree must be "
+                             "positive")
+        if confidence_threshold <= 0:
+            raise ValueError("confidence_threshold must be positive")
+        self.region_bits = region_bits
+        self.table_entries = table_entries
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self._table: Dict[int, _RegionEntry] = {}
+        self._lru = 0
+        self._use: Dict[int, int] = {}
+
+    def observe(self, block: int, was_hit: bool) -> List[PrefetchRequest]:
+        region = block >> self.region_bits
+        self._lru += 1
+        self._use[region] = self._lru
+        entry = self._table.get(region)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                victim = min(self._table, key=lambda r: self._use.get(r, 0))
+                del self._table[victim]
+                self._use.pop(victim, None)
+            self._table[region] = _RegionEntry(block)
+            return []
+
+        delta = block - entry.last_block
+        entry.last_block = block
+        if delta == 0:
+            return []
+        if delta == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 4)
+        else:
+            entry.stride = delta
+            entry.confidence = 1
+        if entry.confidence < self.confidence_threshold:
+            return []
+        return [
+            PrefetchRequest(block + i * entry.stride, self.name)
+            for i in range(1, self.degree + 1)
+            if block + i * entry.stride >= 0
+        ]
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._use.clear()
+        self._lru = 0

@@ -1,0 +1,194 @@
+"""``repro-sim``: replay a trace against one cache configuration.
+
+The workhorse CLI for ad-hoc studies: point it at a saved ``.npz``
+trace (see :mod:`repro.workloads.io`) or a suite workload name, choose
+a geometry and a policy spec, and get miss statistics — optionally full
+timing (CPI) through the processor model.
+
+Examples::
+
+    repro-sim --workload mcf --policy adaptive --size-kb 64
+    repro-sim --trace mytrace.npz --policy sbar --components lru bip
+    repro-sim --workload art-1 --policy adaptive --partial-bits 8 --timing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.timing import compile_workload, simulate
+from repro.experiments.base import build_l2_policy
+from repro.workloads.io import load_trace
+from repro.workloads.suite import build_workload
+from repro.workloads.trace import KIND_STORE, Trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-sim argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Replay a memory trace against a cache configuration.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--trace", help="path to a saved .npz trace")
+    source.add_argument("--workload", help="suite workload name")
+    parser.add_argument("--accesses", type=int, default=60_000,
+                        help="references to generate for --workload")
+    parser.add_argument("--size-kb", type=int, default=64,
+                        help="cache capacity in KB (default 64)")
+    parser.add_argument("--ways", type=int, default=8)
+    parser.add_argument("--line-bytes", type=int, default=64)
+    parser.add_argument("--policy", default="adaptive",
+                        help="lru|lfu|fifo|mru|random|srrip|bip|adaptive|"
+                             "adaptive5|sbar")
+    parser.add_argument("--components", nargs=2, default=["lru", "lfu"],
+                        metavar=("A", "B"),
+                        help="component policies for adaptive/sbar")
+    parser.add_argument("--partial-bits", type=int, default=None,
+                        help="partial tag width for shadow arrays")
+    parser.add_argument("--leaders", type=int, default=16,
+                        help="SBAR leader sets")
+    parser.add_argument("--timing", action="store_true",
+                        help="also run the processor timing model (CPI)")
+    parser.add_argument("--characterize", action="store_true",
+                        help="print the trace's structural profile "
+                             "(stack distances, miss-ratio curve)")
+    parser.add_argument("--compare", nargs="+", default=None,
+                        metavar="POLICY",
+                        help="replay against several policies side by "
+                             "side (overrides --policy)")
+    return parser
+
+
+def _load(args) -> Trace:
+    if args.trace:
+        return load_trace(args.trace)
+    config = CacheConfig(
+        size_bytes=args.size_kb * 1024, ways=args.ways,
+        line_bytes=args.line_bytes,
+    )
+    return build_workload(args.workload, config, accesses=args.accesses)
+
+
+def _compare(args: argparse.Namespace, trace: Trace,
+             config: CacheConfig) -> str:
+    """Side-by-side replay of several policy specs."""
+    from repro.analysis.tables import render_table
+
+    rows = []
+    for kind in args.compare:
+        policy = build_l2_policy(
+            config, kind, tuple(args.components),
+            partial_bits=args.partial_bits, num_leaders=args.leaders,
+        )
+        cache = SetAssociativeCache(config, policy)
+        for record_kind, address, _gap in trace.memory_records():
+            cache.access(address, is_write=(record_kind == KIND_STORE))
+        stats = cache.stats
+        rows.append([
+            policy.name,
+            stats.misses,
+            stats.miss_ratio,
+            stats.mpki(trace.instruction_count),
+            stats.writebacks,
+        ])
+    rows.sort(key=lambda row: row[1])
+    return render_table(
+        ["policy", "misses", "miss ratio", "MPKI", "writebacks"],
+        rows,
+        title=f"{trace.name} on {args.size_kb}KB {args.ways}-way "
+        "(best first)",
+    )
+
+
+def run_replay(args: argparse.Namespace) -> str:
+    """Execute one replay; returns the printed report."""
+    trace = _load(args)
+    config = CacheConfig(
+        size_bytes=args.size_kb * 1024, ways=args.ways,
+        line_bytes=args.line_bytes, hit_latency=15,
+    )
+    if args.compare:
+        return _compare(args, trace, config)
+    policy = build_l2_policy(
+        config, args.policy, tuple(args.components),
+        partial_bits=args.partial_bits, num_leaders=args.leaders,
+    )
+    cache = SetAssociativeCache(config, policy)
+
+    lines = [
+        f"trace: {trace.name} ({trace.memory_access_count()} references, "
+        f"{trace.instruction_count} instructions, "
+        f"{trace.footprint_lines(config.line_bytes)} distinct lines)",
+        f"cache: {args.size_kb}KB {args.ways}-way, {args.line_bytes}B "
+        f"lines, policy {policy.name}",
+    ]
+    if args.characterize:
+        from repro.workloads.characterize import characterize
+
+        profile = characterize(
+            trace,
+            line_bytes=config.line_bytes,
+            curve_capacities=(
+                config.num_lines // 4, config.num_lines,
+                4 * config.num_lines,
+            ),
+        )
+        lines.append("profile:")
+        lines.extend("  " + row for row in profile.render().splitlines())
+    if args.timing:
+        l1 = CacheConfig(
+            size_bytes=max(1, args.size_kb // 16) * 1024, ways=4,
+            line_bytes=args.line_bytes, hit_latency=2,
+        )
+        processor = ProcessorConfig(l1d=l1, l1i=l1, l2=config)
+        compiled = compile_workload(trace, processor)
+        result = simulate(compiled, cache, processor)
+        lines.append(
+            f"timing: CPI {result.cpi:.3f}, MPKI {result.mpki:.2f}, "
+            f"{result.cycles:.0f} cycles"
+        )
+        for component, cycles in sorted(result.breakdown.items()):
+            lines.append(f"  {component:12s} {cycles:14.0f} cycles")
+    else:
+        for kind, address, _gap in trace.memory_records():
+            cache.access(address, is_write=(kind == KIND_STORE))
+        stats = cache.stats
+        lines.append(
+            f"result: {stats.misses} misses / {stats.accesses} accesses "
+            f"(miss ratio {stats.miss_ratio:.3f}, "
+            f"MPKI {stats.mpki(trace.instruction_count):.2f})"
+        )
+        lines.append(
+            f"        {stats.evictions} evictions, "
+            f"{stats.writebacks} writebacks"
+        )
+    from repro.core.adaptive import AdaptivePolicy
+
+    if isinstance(policy, AdaptivePolicy):
+        per_component = ", ".join(
+            f"{c.name}={m}" for c, m in
+            zip(policy.components, policy.component_misses())
+        )
+        lines.append(f"component misses (shadow): {per_component}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        print(run_replay(args))
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Shared low-level utilities: bit manipulation and deterministic RNG."""
+
+from repro.utils.bitops import (
+    is_power_of_two,
+    ilog2,
+    mask,
+    low_bits,
+    xor_fold,
+)
+from repro.utils.rng import DeterministicRNG
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "mask",
+    "low_bits",
+    "xor_fold",
+    "DeterministicRNG",
+]

@@ -1,0 +1,146 @@
+"""Turning address streams into full instruction traces.
+
+A line stream only says *what* is referenced; the timing model also
+needs to know how much independent work surrounds each reference
+(instruction gaps), which references are stores, and what the branch
+stream looks like. :class:`WorkloadBuilder` adds all three, drawing from
+per-workload parameters so e.g. pointer codes get thin gaps (little ILP
+to hide misses behind) and FP codes get wide ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.trace import (
+    KIND_BRANCH_NOT_TAKEN,
+    KIND_BRANCH_TAKEN,
+    KIND_LOAD,
+    KIND_STORE,
+    Trace,
+)
+
+DATA_SEGMENT_BASE = 0x1000_0000
+CODE_SEGMENT_BASE = 0x0040_0000
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Statistical shape of a workload's branch stream.
+
+    Attributes:
+        density: branches per memory reference (≈0.5-1.5 for typical
+            codes once non-memory instructions are folded into gaps).
+        loop_bias: probability that a loop-site branch is taken; loop
+            branches are highly predictable (taken until the exit).
+        random_fraction: fraction of branches drawn from a pool of
+            data-dependent sites with ``random_bias`` taken probability —
+            these are what the predictors actually mispredict.
+        random_bias: taken probability of the data-dependent sites.
+        sites: number of distinct data-dependent branch PCs.
+    """
+
+    density: float = 0.75
+    loop_bias: float = 0.95
+    random_fraction: float = 0.15
+    random_bias: float = 0.5
+    sites: int = 64
+
+    def __post_init__(self):
+        if self.density < 0:
+            raise ValueError(f"density must be >= 0, got {self.density}")
+        if not 0 <= self.loop_bias <= 1 or not 0 <= self.random_bias <= 1:
+            raise ValueError("branch biases must be in [0, 1]")
+        if not 0 <= self.random_fraction <= 1:
+            raise ValueError(
+                f"random_fraction must be in [0, 1], got {self.random_fraction}"
+            )
+        if self.sites <= 0:
+            raise ValueError(f"sites must be positive, got {self.sites}")
+
+
+class WorkloadBuilder:
+    """Builds a :class:`Trace` from a line-number stream.
+
+    Args:
+        seed: RNG seed; the same seed and stream give identical traces.
+        mean_gap: mean plain instructions between consecutive records
+            (geometric distribution). Wide gaps = high ILP around
+            references; thin gaps = dependent chains.
+        write_fraction: fraction of memory references that are stores.
+        branches: branch stream shape; None disables branch records.
+        line_bytes: line size used to scale line numbers to addresses.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mean_gap: float = 3.0,
+        write_fraction: float = 0.3,
+        branches: BranchProfile = BranchProfile(),
+        line_bytes: int = 64,
+    ):
+        if mean_gap < 0:
+            raise ValueError(f"mean_gap must be >= 0, got {mean_gap}")
+        if not 0 <= write_fraction <= 1:
+            raise ValueError(
+                f"write_fraction must be in [0, 1], got {write_fraction}"
+            )
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+        self.seed = seed
+        self.mean_gap = mean_gap
+        self.write_fraction = write_fraction
+        self.branches = branches
+        self.line_bytes = line_bytes
+
+    def build(self, name: str, line_stream: Sequence[int]) -> Trace:
+        """Assemble the full trace around ``line_stream``."""
+        n = len(line_stream)
+        rng = np.random.default_rng(self.seed)
+
+        if self.mean_gap > 0:
+            p = 1.0 / (1.0 + self.mean_gap)
+            gaps = rng.geometric(p, size=n) - 1
+        else:
+            gaps = np.zeros(n, dtype=np.int64)
+        is_store = rng.random(n) < self.write_fraction
+
+        profile = self.branches
+        if profile is None or profile.density == 0:
+            branch_here = np.zeros(n, dtype=bool)
+        else:
+            # Bernoulli thinning approximates `density` branches/reference.
+            branch_here = rng.random(n) < min(profile.density, 1.0)
+        is_random_site = rng.random(n) < (
+            profile.random_fraction if profile else 0.0
+        )
+        site_pick = rng.integers(0, profile.sites if profile else 1, size=n)
+        taken_roll = rng.random(n)
+
+        addresses = (
+            np.asarray(line_stream, dtype=np.int64) * self.line_bytes
+            + DATA_SEGMENT_BASE
+        )
+
+        records = []
+        append = records.append
+        for i in range(n):
+            if branch_here[i]:
+                if is_random_site[i]:
+                    pc = CODE_SEGMENT_BASE + 0x1000 + int(site_pick[i]) * 4
+                    taken = taken_roll[i] < profile.random_bias
+                else:
+                    pc = CODE_SEGMENT_BASE + int(site_pick[i]) % 8 * 4
+                    taken = taken_roll[i] < profile.loop_bias
+                kind = KIND_BRANCH_TAKEN if taken else KIND_BRANCH_NOT_TAKEN
+                append((kind, pc, int(gaps[i]) // 2))
+                mem_gap = int(gaps[i]) - int(gaps[i]) // 2
+            else:
+                mem_gap = int(gaps[i])
+            kind = KIND_STORE if is_store[i] else KIND_LOAD
+            append((kind, int(addresses[i]), mem_gap))
+        return Trace(name=name, records=records)

@@ -1,0 +1,168 @@
+"""Trace characterization: the numbers that predict cache behaviour.
+
+Locality classes are claims about a trace's *structure*; this module
+measures that structure directly, independent of any cache:
+
+* **stack-distance histogram** — for each reference, the number of
+  distinct lines touched since the previous reference to the same line
+  (the classic LRU stack distance, computed exactly in O(N log N) with
+  a Fenwick tree). A fully-associative LRU cache of capacity C hits
+  exactly the references with distance < C, so the histogram's CDF *is*
+  the miss-ratio curve.
+* **footprint and single-use fraction** — how many distinct lines, and
+  how many are touched exactly once (the scan component LFU separates
+  out).
+* **instruction mix** — loads/stores/branches per kilo-instruction.
+
+Used by ``repro-sim --characterize`` and the workload tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.workloads.trace import Trace
+
+
+class _Fenwick:
+    """Binary indexed tree over positions, for counting live lines."""
+
+    def __init__(self, size: int):
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries at positions < index."""
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+
+def stack_distances(blocks: Sequence[int]) -> List[int]:
+    """Exact LRU stack distance per reference; -1 for cold references.
+
+    Distance = number of *distinct* blocks referenced since the last
+    reference to this block (0 = immediate re-reference).
+    """
+    tree = _Fenwick(len(blocks))
+    last_position: Dict[int, int] = {}
+    distances: List[int] = []
+    for position, block in enumerate(blocks):
+        previous = last_position.get(block)
+        if previous is None:
+            distances.append(-1)
+        else:
+            # Live distinct blocks strictly after `previous`.
+            distances.append(
+                tree.prefix_sum(position) - tree.prefix_sum(previous + 1)
+            )
+            tree.add(previous, -1)
+        tree.add(position, 1)
+        last_position[block] = position
+    return distances
+
+
+def miss_ratio_curve(
+    blocks: Sequence[int], capacities: Sequence[int]
+) -> List[float]:
+    """Fully-associative LRU miss ratio at each capacity (in lines).
+
+    Computed from the stack-distance histogram in one pass — the
+    Mattson et al. inclusion property in action.
+    """
+    if not blocks:
+        raise ValueError("need at least one reference")
+    for capacity in capacities:
+        if capacity <= 0:
+            raise ValueError(f"capacities must be positive, got {capacity}")
+    distances = stack_distances(blocks)
+    histogram = Counter(distances)
+    total = len(blocks)
+    curve = []
+    for capacity in capacities:
+        hits = sum(
+            count for distance, count in histogram.items()
+            if 0 <= distance < capacity
+        )
+        curve.append(1.0 - hits / total)
+    return curve
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Structural summary of one trace.
+
+    Attributes:
+        references: memory references analysed.
+        footprint_lines: distinct lines touched.
+        single_use_fraction: fraction of lines touched exactly once —
+            the scan component.
+        store_fraction: stores / memory references.
+        branches_per_kinst: branch records per 1000 instructions.
+        median_stack_distance: median over warm references (-1 if none).
+        miss_curve: {capacity_lines: fully-associative LRU miss ratio}.
+    """
+
+    references: int
+    footprint_lines: int
+    single_use_fraction: float
+    store_fraction: float
+    branches_per_kinst: float
+    median_stack_distance: int
+    miss_curve: Dict[int, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"references:            {self.references}",
+            f"footprint:             {self.footprint_lines} lines",
+            f"single-use lines:      {self.single_use_fraction:.1%}",
+            f"store fraction:        {self.store_fraction:.2f}",
+            f"branches/kinst:        {self.branches_per_kinst:.1f}",
+            f"median stack distance: {self.median_stack_distance}",
+        ]
+        for capacity, ratio in sorted(self.miss_curve.items()):
+            lines.append(
+                f"FA-LRU miss ratio @ {capacity:>6d} lines: {ratio:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def characterize(
+    trace: Trace,
+    line_bytes: int = 64,
+    curve_capacities: Sequence[int] = (64, 256, 1024, 4096),
+) -> TraceProfile:
+    """Build a :class:`TraceProfile` for ``trace``."""
+    blocks = trace.block_addresses(line_bytes)
+    if not blocks:
+        raise ValueError("trace has no memory references")
+    touch_counts = Counter(blocks)
+    single_use = sum(1 for count in touch_counts.values() if count == 1)
+    distances = [d for d in stack_distances(blocks) if d >= 0]
+    distances.sort()
+    median = distances[len(distances) // 2] if distances else -1
+    instructions = trace.instruction_count
+    return TraceProfile(
+        references=len(blocks),
+        footprint_lines=len(touch_counts),
+        single_use_fraction=single_use / len(touch_counts),
+        store_fraction=(
+            trace.store_count() / len(blocks) if blocks else 0.0
+        ),
+        branches_per_kinst=1000.0 * trace.branch_count() / instructions
+        if instructions else 0.0,
+        median_stack_distance=median,
+        miss_curve=dict(
+            zip(curve_capacities, miss_ratio_curve(blocks, curve_capacities))
+        ),
+    )

@@ -1,0 +1,101 @@
+"""Shared-cache workload mixes — the paper's multi-core future work.
+
+Section 6: "We plan on evaluating adaptive caching policies for shared
+last-level caches in a multi-core environment. We believe that the
+combination of memory traffic from dissimilar threads or applications
+will provide even more opportunities for the adaptive mechanism."
+
+This module builds that combined traffic: each core's trace keeps its
+own (disjoint) address space — so the cores *compete* for shared-cache
+capacity without sharing data — and the record streams are interleaved
+in proportion to their lengths, approximating simultaneous execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cache.config import CacheConfig
+from repro.workloads.suite import build_workload
+from repro.workloads.trace import KIND_STORE, Record, Trace
+
+# Per-core address-space separation: above any synthetic footprint, and
+# aligned so it never changes a reference's set index.
+CORE_ADDRESS_STRIDE = 1 << 36
+
+
+def offset_core_records(records: Sequence[Record], core: int) -> List[Record]:
+    """Rebase a core's memory addresses into its private address space.
+
+    Branch PCs are left alone (each core has its own predictor in a real
+    system; the timing model treats the combined branch stream as one,
+    which only makes the shared baseline *harder*, not easier).
+    """
+    if core < 0:
+        raise ValueError(f"core must be >= 0, got {core}")
+    offset = core * CORE_ADDRESS_STRIDE
+    rebased = []
+    for kind, address, gap in records:
+        if kind <= KIND_STORE:
+            rebased.append((kind, address + offset, gap))
+        else:
+            rebased.append((kind, address, gap))
+    return rebased
+
+
+def interleave_traces(traces: Sequence[Trace], seed: int = 0) -> Trace:
+    """Merge per-core traces into one shared-cache reference stream.
+
+    Records are drawn from the cores in random order, weighted by how
+    many records each core has left, so all cores finish together —
+    a simple model of symmetric simultaneous execution.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    streams = [
+        offset_core_records(trace.records, core)
+        for core, trace in enumerate(traces)
+    ]
+    remaining = [len(s) for s in streams]
+    total = sum(remaining)
+    rng = np.random.default_rng(seed)
+    positions = [0] * len(streams)
+    merged: List[Record] = []
+    # Draw cores in bulk for speed; redraw when a core runs dry.
+    while len(merged) < total:
+        weights = np.asarray(remaining, dtype=np.float64)
+        alive = weights.sum()
+        draws = rng.choice(
+            len(streams), size=min(4096, total - len(merged)),
+            p=weights / alive,
+        )
+        for core in draws:
+            if remaining[core] == 0:
+                continue
+            merged.append(streams[core][positions[core]])
+            positions[core] += 1
+            remaining[core] -= 1
+    name = "+".join(trace.name for trace in traces)
+    return Trace(name=name, records=merged)
+
+
+def build_shared_workload(
+    names: Sequence[str],
+    config: CacheConfig,
+    accesses_per_core: int = 30_000,
+    seed: int = 0,
+) -> Trace:
+    """Build and interleave the named workloads for a shared cache.
+
+    Footprints still scale against ``config`` (the *shared* cache), so
+    an N-core mix pressures the cache roughly N times harder than any
+    solo run — the regime the paper expects adaptivity to enjoy.
+    """
+    traces = [
+        build_workload(name, config, accesses=accesses_per_core,
+                       seed_offset=core)
+        for core, name in enumerate(names)
+    ]
+    return interleave_traces(traces, seed=seed)

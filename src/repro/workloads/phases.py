@@ -1,0 +1,83 @@
+"""Composing address streams: phases, interleavings, set confinement.
+
+Programs like ammp and mgrid (Figure 7) switch locality class over time
+*and* across cache sets. These combinators build such behaviour out of
+the primitives in :mod:`repro.workloads.synth`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def concat_phases(*streams: Sequence[int]) -> List[int]:
+    """Run streams back to back — temporal phase behaviour (ammp)."""
+    out: List[int] = []
+    for stream in streams:
+        out.extend(stream)
+    return out
+
+
+def interleave_streams(
+    streams: Sequence[Sequence[int]],
+    weights: Sequence[float] = None,
+    seed: int = 0,
+) -> List[int]:
+    """Probabilistically interleave several streams into one.
+
+    Each output reference is drawn from stream ``i`` with probability
+    ``weights[i]`` (uniform by default); a stream that runs dry restarts
+    from its beginning. Models independent data structures accessed
+    concurrently (different arrays, heap vs stack).
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    if any(len(s) == 0 for s in streams):
+        raise ValueError("streams must be non-empty")
+    n = len(streams)
+    if weights is None:
+        weights = [1.0 / n] * n
+    if len(weights) != n:
+        raise ValueError(f"expected {n} weights, got {len(weights)}")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    probs = [w / total for w in weights]
+    length = sum(len(s) for s in streams)
+    rng = np.random.default_rng(seed)
+    choices = rng.choice(n, size=length, p=probs)
+    positions = [0] * n
+    out: List[int] = []
+    for c in choices:
+        stream = streams[c]
+        out.append(stream[positions[c] % len(stream)])
+        positions[c] += 1
+    return out
+
+
+def confine_to_sets(
+    stream: Sequence[int],
+    set_lo: int,
+    set_hi: int,
+    num_sets: int,
+) -> List[int]:
+    """Remap a line stream so it only lands in sets [set_lo, set_hi).
+
+    A line's set is ``line % num_sets`` in a conventional cache; the
+    remapping preserves each line's identity (distinct lines stay
+    distinct) while pinning the stream to a band of sets. Used to build
+    spatially varying behaviour: one region of the data is scanned while
+    another is reused, and they fall in different sets (mgrid).
+    """
+    if not 0 <= set_lo < set_hi <= num_sets:
+        raise ValueError(
+            f"need 0 <= set_lo < set_hi <= num_sets, got "
+            f"[{set_lo}, {set_hi}) of {num_sets}"
+        )
+    band = set_hi - set_lo
+    return [
+        (line // band) * num_sets + set_lo + (line % band)
+        for line in stream
+    ]

@@ -1,0 +1,80 @@
+"""Trace container and record kinds.
+
+A trace is a flat list of records, each a ``(kind, address, gap)`` tuple:
+
+* ``kind`` — one of the ``KIND_*`` constants below.
+* ``address`` — byte address for memory records, branch PC for branches.
+* ``gap`` — number of plain (non-memory, non-branch) instructions that
+  execute before this record.
+
+Plain tuples (rather than objects) keep long-trace simulation cheap; the
+:class:`Trace` wrapper carries the name, derived statistics and helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+KIND_LOAD = 0
+KIND_STORE = 1
+KIND_BRANCH_TAKEN = 2
+KIND_BRANCH_NOT_TAKEN = 3
+
+Record = Tuple[int, int, int]
+
+
+@dataclass
+class Trace:
+    """A named instruction/memory trace.
+
+    Attributes:
+        name: workload name (benchmark names mirror the paper's).
+        records: the record tuples, in program order.
+    """
+
+    name: str
+    records: List[Record] = field(default_factory=list)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions: every record is one instruction plus its gap."""
+        return sum(r[2] for r in self.records) + len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def memory_records(self) -> Iterator[Record]:
+        """Only the load/store records, in order."""
+        return (r for r in self.records if r[0] <= KIND_STORE)
+
+    def branch_records(self) -> Iterator[Record]:
+        """Only the branch records, in order."""
+        return (r for r in self.records if r[0] >= KIND_BRANCH_TAKEN)
+
+    def memory_access_count(self) -> int:
+        """Number of load/store records."""
+        return sum(1 for r in self.records if r[0] <= KIND_STORE)
+
+    def store_count(self) -> int:
+        """Number of store records."""
+        return sum(1 for r in self.records if r[0] == KIND_STORE)
+
+    def branch_count(self) -> int:
+        """Number of branch records."""
+        return sum(1 for r in self.records if r[0] >= KIND_BRANCH_TAKEN)
+
+    def footprint_lines(self, line_bytes: int = 64) -> int:
+        """Number of distinct cache lines touched by memory records."""
+        if line_bytes <= 0:
+            raise ValueError(f"line_bytes must be positive, got {line_bytes}")
+        shift = line_bytes.bit_length() - 1
+        return len({r[1] >> shift for r in self.memory_records()})
+
+    def block_addresses(self, line_bytes: int = 64) -> List[int]:
+        """Line-granular addresses of the memory records, in order."""
+        shift = line_bytes.bit_length() - 1
+        return [r[1] >> shift for r in self.memory_records()]

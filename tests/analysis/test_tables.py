@@ -1,0 +1,41 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(["name", "value"], [["a", 1.23456], ["bb", 2]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "1.235" in text
+        assert "2" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment_consistent(self):
+        text = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_float_digits(self):
+        text = render_table(["v"], [[3.14159]], float_digits=1)
+        assert "3.1" in text
+        assert "3.14" not in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_no_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text

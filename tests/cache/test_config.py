@@ -1,0 +1,90 @@
+"""Unit tests for CacheConfig geometry and address decomposition."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+
+
+class TestGeometry:
+    def test_paper_l2(self):
+        config = CacheConfig(size_bytes=512 * 1024, ways=8, line_bytes=64)
+        assert config.num_sets == 1024
+        assert config.num_lines == 8192
+        assert config.offset_bits == 6
+        assert config.index_bits == 10
+        assert config.tag_bits == 24  # 40-bit addresses, footnote 2
+
+    def test_paper_l1(self):
+        config = CacheConfig(size_bytes=16 * 1024, ways=4, line_bytes=64)
+        assert config.num_sets == 64
+        assert config.num_lines == 256
+
+    def test_nine_way_allowed(self):
+        # Figure 6 compares against 9- and 10-way caches; the set count
+        # stays a power of two even though ways are not.
+        config = CacheConfig(size_bytes=576 * 1024, ways=9, line_bytes=64)
+        assert config.num_sets == 1024
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_bytes": 0, "ways": 4},
+            {"size_bytes": 1024, "ways": 0},
+            {"size_bytes": 1024, "ways": 4, "line_bytes": 48},
+            {"size_bytes": 1000, "ways": 4},  # not divisible
+            {"size_bytes": 3 * 1024, "ways": 4},  # 12 sets: not a power of 2
+            {"size_bytes": 1024, "ways": 4, "hit_latency": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        kwargs.setdefault("line_bytes", 64)
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)
+
+    def test_address_bits_must_cover_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=512 * 1024, ways=8, line_bytes=64,
+                        address_bits=16)
+
+
+class TestDecomposition:
+    def test_round_trip(self, small_config):
+        for address in (0, 0x1234_5678, 0xDEAD_BEC0, (1 << 39) - 64):
+            tag = small_config.tag(address)
+            set_index = small_config.set_index(address)
+            base = small_config.rebuild_address(tag, set_index)
+            # Reconstruction drops the intra-line offset only.
+            assert base == (address >> small_config.offset_bits) << \
+                small_config.offset_bits
+
+    def test_same_line_same_decomposition(self, small_config):
+        base = 0x4000_0000
+        for offset in range(small_config.line_bytes):
+            assert small_config.tag(base + offset) == small_config.tag(base)
+            assert small_config.set_index(base + offset) == \
+                small_config.set_index(base)
+
+    def test_consecutive_lines_walk_sets(self, small_config):
+        sets = [
+            small_config.set_index(line * small_config.line_bytes)
+            for line in range(small_config.num_sets + 3)
+        ]
+        assert sets[: small_config.num_sets] == list(range(small_config.num_sets))
+        assert sets[small_config.num_sets] == 0  # wraps
+
+    def test_block_address(self, small_config):
+        assert small_config.block_address(0) == 0
+        assert small_config.block_address(64) == 1
+        assert small_config.block_address(130) == 2
+
+
+class TestScaled:
+    def test_scaled_overrides(self, small_config):
+        bigger = small_config.scaled(ways=16)
+        assert bigger.ways == 16
+        assert bigger.size_bytes == small_config.size_bytes
+        assert bigger.num_sets == small_config.num_sets // 2
+
+    def test_scaled_validates(self, small_config):
+        with pytest.raises(ValueError):
+            small_config.scaled(line_bytes=100)

@@ -1,0 +1,103 @@
+"""Unit tests for the L1/L2/memory hierarchy."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.policies.lru import LRUPolicy
+
+
+def make_cache(size, ways, hit_latency):
+    config = CacheConfig(size_bytes=size, ways=ways, line_bytes=64,
+                         hit_latency=hit_latency)
+    return SetAssociativeCache(config, LRUPolicy(config.num_sets, config.ways))
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(
+        l2=make_cache(32 * 1024, 8, 15),
+        l1d=make_cache(2 * 1024, 4, 2),
+        l1i=make_cache(2 * 1024, 4, 2),
+        memory_latency=120,
+        bus_transfer_cycles=64,
+    )
+
+
+class TestLatencies:
+    def test_cold_access_goes_to_memory(self, hierarchy):
+        result = hierarchy.access_data(0x10000)
+        assert result.hit_level == "memory"
+        assert result.latency == 2 + 15 + 184
+        assert result.l2_miss
+
+    def test_l1_hit_after_fill(self, hierarchy):
+        hierarchy.access_data(0x10000)
+        result = hierarchy.access_data(0x10000)
+        assert result.hit_level == "l1"
+        assert result.latency == 2
+        assert not result.l2_accessed
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        target = 0x10000
+        hierarchy.access_data(target)
+        # Push `target` out of the tiny L1 by filling its set.
+        l1_config = hierarchy.l1d.config
+        set_index = l1_config.set_index(target)
+        for tag in range(100, 100 + l1_config.ways):
+            hierarchy.access_data(l1_config.rebuild_address(tag, set_index))
+        result = hierarchy.access_data(target)
+        assert result.hit_level == "l2"
+        assert result.latency == 2 + 15
+
+    def test_miss_penalty_property(self, hierarchy):
+        assert hierarchy.miss_penalty == 184
+
+
+class TestWritebackPropagation:
+    def test_l1_writeback_lands_in_l2(self, hierarchy):
+        target = 0x20000
+        hierarchy.access_data(target, is_write=True)
+        l1_config = hierarchy.l1d.config
+        set_index = l1_config.set_index(target)
+        for tag in range(200, 200 + l1_config.ways):
+            hierarchy.access_data(l1_config.rebuild_address(tag, set_index))
+        # The dirty line was written back: the L2 copy must be dirty.
+        l2 = hierarchy.l2
+        l2_set = l2.config.set_index(target)
+        way = l2.sets[l2_set].find(l2.config.tag(target))
+        assert way is not None
+        assert l2.sets[l2_set].is_dirty(way)
+
+    def test_l2_dirty_eviction_counts_memory_write(self):
+        hierarchy = CacheHierarchy(l2=make_cache(1024, 4, 15))
+        config = hierarchy.l2.config
+        dirty = config.rebuild_address(1, 0)
+        hierarchy.access_l2(dirty, is_write=True)
+        for tag in range(2, 2 + config.ways):
+            hierarchy.access_l2(config.rebuild_address(tag, 0))
+        assert hierarchy.memory_writes == 1
+
+
+class TestDirectL2Mode:
+    def test_without_l1(self):
+        hierarchy = CacheHierarchy(l2=make_cache(32 * 1024, 8, 15))
+        result = hierarchy.access_data(0x1234)
+        assert result.l2_accessed
+        assert hierarchy.memory_reads == 1
+        result = hierarchy.access_data(0x1234)
+        assert result.hit_level == "l2"
+
+    def test_instruction_path(self, hierarchy):
+        result = hierarchy.access_inst(0x400000)
+        assert result.hit_level == "memory"
+        assert hierarchy.access_inst(0x400000).hit_level == "l1"
+
+
+class TestValidation:
+    def test_rejects_bad_latencies(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(l2=make_cache(1024, 4, 15), memory_latency=0)
+        with pytest.raises(ValueError):
+            CacheHierarchy(l2=make_cache(1024, 4, 15), bus_transfer_cycles=-1)

@@ -1,0 +1,47 @@
+"""Shared fixtures: small cache geometries and reference traces."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cpu.config import ProcessorConfig
+
+
+@pytest.fixture
+def tiny_config():
+    """4 sets x 4 ways of 64B lines (1 KB): tiny enough to reason about."""
+    return CacheConfig(size_bytes=1024, ways=4, line_bytes=64)
+
+
+@pytest.fixture
+def small_config():
+    """64 sets x 8 ways (32 KB): the default unit-test L2 geometry."""
+    return CacheConfig(size_bytes=32 * 1024, ways=8, line_bytes=64)
+
+
+@pytest.fixture
+def small_processor(small_config):
+    """A processor scaled to the small L2."""
+    l1 = CacheConfig(size_bytes=2 * 1024, ways=4, line_bytes=64, hit_latency=2)
+    return ProcessorConfig(l1d=l1, l1i=l1, l2=small_config)
+
+
+@pytest.fixture
+def random_blocks():
+    """Factory for deterministic random block-address traces."""
+
+    def make(length=2000, universe=512, seed=0):
+        rng = random.Random(seed)
+        return [rng.randrange(universe) for _ in range(length)]
+
+    return make
+
+
+def addresses_for_set(config: CacheConfig, set_index: int, count: int):
+    """``count`` distinct byte addresses that all map to ``set_index``."""
+    return [
+        config.rebuild_address(tag, set_index) for tag in range(1, count + 1)
+    ]

@@ -1,0 +1,84 @@
+"""Unit tests for multi-policy adaptive constructors (Section 4.4)."""
+
+import random
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.multi import five_policy_adaptive, make_adaptive
+from repro.core.partial import PartialTagScheme
+
+
+class TestMakeAdaptive:
+    def test_default_pair(self, tiny_config):
+        policy = make_adaptive(tiny_config.num_sets, tiny_config.ways)
+        assert [c.name for c in policy.components] == ["lru", "lfu"]
+
+    def test_component_kwargs(self, tiny_config):
+        policy = make_adaptive(
+            tiny_config.num_sets,
+            tiny_config.ways,
+            ("lru", "lfu"),
+            component_kwargs={"lfu": {"counter_bits": 3}},
+        )
+        assert policy.components[1].counter_bits == 3
+
+    def test_unknown_component(self, tiny_config):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_adaptive(tiny_config.num_sets, tiny_config.ways,
+                          ("lru", "plru"))
+
+
+class TestFivePolicy:
+    def test_components(self, tiny_config):
+        policy = five_policy_adaptive(tiny_config.num_sets, tiny_config.ways)
+        assert [c.name for c in policy.components] == [
+            "lru", "lfu", "fifo", "mru", "random"
+        ]
+        assert len(policy.shadows) == 5
+
+    def test_simulates_cleanly(self, tiny_config):
+        policy = five_policy_adaptive(tiny_config.num_sets, tiny_config.ways)
+        cache = SetAssociativeCache(tiny_config, policy)
+        rng = random.Random(17)
+        for _ in range(3000):
+            cache.access(rng.randrange(1 << 15))
+        assert cache.stats.accesses == 3000
+        assert len(policy.component_misses()) == 5
+
+    def test_never_much_worse_than_best_component(self, small_config):
+        """The selling point of N-way adaptivity: close to the best of
+        all five on any single-behaviour stream."""
+        from repro.workloads.synth import linear_loop
+
+        stream = linear_loop(int(1.3 * small_config.num_lines), 20_000)
+        policy = five_policy_adaptive(small_config.num_sets, small_config.ways)
+        cache = SetAssociativeCache(small_config, policy)
+        for line in stream:
+            cache.access(line * small_config.line_bytes)
+        best = min(policy.component_misses())
+        assert cache.stats.misses <= 1.3 * best + 2 * small_config.num_lines
+
+    def test_partial_tags_supported(self, tiny_config):
+        policy = five_policy_adaptive(
+            tiny_config.num_sets, tiny_config.ways,
+            tag_transform=PartialTagScheme(8),
+        )
+        cache = SetAssociativeCache(tiny_config, policy)
+        rng = random.Random(23)
+        for _ in range(1000):
+            cache.access(rng.randrange(1 << 15))
+        assert cache.stats.misses > 0
+
+    def test_deterministic(self, tiny_config):
+        def run():
+            policy = five_policy_adaptive(
+                tiny_config.num_sets, tiny_config.ways, seed=5
+            )
+            cache = SetAssociativeCache(tiny_config, policy)
+            rng = random.Random(31)
+            for _ in range(2000):
+                cache.access(rng.randrange(1 << 15))
+            return cache.stats.misses
+
+        assert run() == run()

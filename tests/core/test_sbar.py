@@ -1,0 +1,198 @@
+"""Unit tests for the SBAR-like set-sampling policy (Section 4.7)."""
+
+import random
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.sbar import SbarPolicy, spread_leader_sets
+from repro.experiments.base import build_l2_policy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lru import LRUPolicy
+
+
+def make_sbar(config, num_leaders=4, **kwargs):
+    resident = [
+        LRUPolicy(config.num_sets, config.ways),
+        LFUPolicy(config.num_sets, config.ways),
+    ]
+    shadow = [
+        LRUPolicy(num_leaders, config.ways),
+        LFUPolicy(num_leaders, config.ways),
+    ]
+    return SbarPolicy(
+        config.num_sets, config.ways, resident, shadow,
+        num_leaders=num_leaders, **kwargs,
+    )
+
+
+class TestLeaderSelection:
+    def test_spread_even(self):
+        assert spread_leader_sets(64, 4) == [0, 16, 32, 48]
+        assert spread_leader_sets(8, 8) == list(range(8))
+
+    def test_spread_validation(self):
+        with pytest.raises(ValueError):
+            spread_leader_sets(8, 0)
+        with pytest.raises(ValueError):
+            spread_leader_sets(8, 9)
+
+    def test_leader_sets_property(self, small_config):
+        policy = make_sbar(small_config, num_leaders=4)
+        assert policy.leader_sets == [0, 16, 32, 48]
+
+
+class TestConstruction:
+    def test_needs_exactly_two(self, small_config):
+        with pytest.raises(ValueError, match="exactly two"):
+            SbarPolicy(
+                small_config.num_sets, small_config.ways,
+                [LRUPolicy(small_config.num_sets, small_config.ways)],
+                [LRUPolicy(4, small_config.ways)],
+                num_leaders=4,
+            )
+
+    def test_resident_geometry_checked(self, small_config):
+        with pytest.raises(ValueError, match="full cache"):
+            SbarPolicy(
+                small_config.num_sets, small_config.ways,
+                [LRUPolicy(4, small_config.ways),
+                 LFUPolicy(4, small_config.ways)],
+                [LRUPolicy(4, small_config.ways),
+                 LFUPolicy(4, small_config.ways)],
+                num_leaders=4,
+            )
+
+    def test_shadow_geometry_checked(self, small_config):
+        with pytest.raises(ValueError, match="leader sets"):
+            make_sbar_bad(small_config)
+
+    def test_psel_bits_validated(self, small_config):
+        with pytest.raises(ValueError, match="psel_bits"):
+            make_sbar(small_config, psel_bits=1)
+
+
+def make_sbar_bad(config):
+    resident = [
+        LRUPolicy(config.num_sets, config.ways),
+        LFUPolicy(config.num_sets, config.ways),
+    ]
+    shadow = [
+        LRUPolicy(config.num_sets, config.ways),  # wrong: full geometry
+        LFUPolicy(config.num_sets, config.ways),
+    ]
+    return SbarPolicy(config.num_sets, config.ways, resident, shadow,
+                      num_leaders=4)
+
+
+class TestGlobalSelector:
+    def test_selector_learns_lfu_pattern(self, small_config):
+        """A scan+hot stream makes LRU miss more in the leader sets, so
+        the selector must swing to LFU (component 1)."""
+        from repro.workloads.synth import scan_with_hot
+
+        policy = make_sbar(small_config, num_leaders=8)
+        cache = SetAssociativeCache(small_config, policy)
+        stream = scan_with_hot(
+            int(0.4 * small_config.num_lines),
+            8 * small_config.num_lines,
+            25_000,
+            seed=6,
+        )
+        for line in stream:
+            cache.access(line * small_config.line_bytes)
+        assert policy.selected_component() == 1
+
+    def test_selector_learns_lru_pattern(self, small_config):
+        from repro.workloads.synth import drifting_working_set
+
+        policy = make_sbar(small_config, num_leaders=8)
+        cache = SetAssociativeCache(small_config, policy)
+        stream = drifting_working_set(
+            int(0.9 * small_config.num_lines), 25_000, 20.0, seed=7
+        )
+        for line in stream:
+            cache.access(line * small_config.line_bytes)
+        assert policy.selected_component() == 0
+
+    def test_psel_stays_bounded(self, small_config):
+        policy = make_sbar(small_config, num_leaders=8, psel_bits=4)
+        cache = SetAssociativeCache(small_config, policy)
+        rng = random.Random(12)
+        for _ in range(10_000):
+            cache.access(rng.randrange(1 << 18))
+            assert 0 <= policy._psel <= 15
+
+
+class TestEffectiveness:
+    def _misses(self, config, stream, policy):
+        cache = SetAssociativeCache(config, policy)
+        for line in stream:
+            cache.access(line * config.line_bytes)
+        return cache.stats.misses
+
+    def test_beats_lru_on_lfu_friendly(self, small_config):
+        from repro.workloads.synth import scan_with_hot
+
+        stream = scan_with_hot(
+            int(0.4 * small_config.num_lines),
+            8 * small_config.num_lines,
+            30_000,
+            seed=9,
+        )
+        sbar = self._misses(small_config, stream,
+                            make_sbar(small_config, num_leaders=8))
+        lru = self._misses(
+            small_config, stream,
+            LRUPolicy(small_config.num_sets, small_config.ways),
+        )
+        assert sbar < lru
+
+    def test_tracks_lru_on_lru_friendly(self, small_config):
+        from repro.workloads.synth import drifting_working_set
+
+        stream = drifting_working_set(
+            int(0.9 * small_config.num_lines), 30_000, 20.0, seed=10
+        )
+        sbar = self._misses(small_config, stream,
+                            make_sbar(small_config, num_leaders=8))
+        lru = self._misses(
+            small_config, stream,
+            LRUPolicy(small_config.num_sets, small_config.ways),
+        )
+        assert sbar <= 1.25 * lru
+
+    def test_partial_tag_leaders(self, small_config):
+        """Section 4.7: partial tags in the leaders barely change the
+        outcome (0.09% overhead configuration)."""
+        from repro.workloads.synth import scan_with_hot
+
+        stream = scan_with_hot(
+            int(0.4 * small_config.num_lines),
+            8 * small_config.num_lines,
+            20_000,
+            seed=11,
+        )
+        full = self._misses(
+            small_config, stream,
+            build_l2_policy(small_config, "sbar", ("lru", "lfu"),
+                            num_leaders=8),
+        )
+        partial = self._misses(
+            small_config, stream,
+            build_l2_policy(small_config, "sbar", ("lru", "lfu"),
+                            num_leaders=8, partial_bits=8),
+        )
+        assert abs(partial - full) <= 0.05 * full
+
+
+class TestInvalidate:
+    def test_invalidate_propagates_to_residents(self, tiny_config):
+        policy = make_sbar(tiny_config, num_leaders=2)
+        cache = SetAssociativeCache(tiny_config, policy)
+        cache.access(0x1000)
+        assert cache.invalidate(0x1000)
+        rng = random.Random(2)
+        for _ in range(500):
+            cache.access(rng.randrange(1 << 14))
+        assert cache.stats.misses > 0

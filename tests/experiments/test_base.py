@@ -1,0 +1,119 @@
+"""Unit tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.sbar import SbarPolicy
+from repro.experiments.base import (
+    ExperimentResult,
+    WorkloadCache,
+    build_l2_policy,
+    make_setup,
+    run_policy_sweep,
+)
+from repro.policies.lru import LRUPolicy
+
+
+class TestSetups:
+    def test_scales(self):
+        mini = make_setup("mini")
+        scaled = make_setup("scaled")
+        paper = make_setup("paper")
+        assert mini.l2.size_bytes < scaled.l2.size_bytes < paper.l2.size_bytes
+        assert paper.l2.size_bytes == 512 * 1024
+        assert paper.processor.l1d.size_bytes == 16 * 1024
+        assert mini.accesses < scaled.accesses < paper.accesses
+
+    def test_accesses_override(self):
+        setup = make_setup("mini", accesses=1234)
+        assert setup.accesses == 1234
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            make_setup("galactic")
+
+    def test_workload_lists(self):
+        setup = make_setup("mini")
+        assert len(setup.workloads(primary_only=True)) == 26
+        assert len(setup.workloads(primary_only=False)) == 100
+
+
+class TestBuildPolicy:
+    def test_plain_policy(self, small_config):
+        policy = build_l2_policy(small_config, "lru")
+        assert isinstance(policy, LRUPolicy)
+
+    def test_adaptive(self, small_config):
+        policy = build_l2_policy(small_config, "adaptive", ("fifo", "mru"))
+        assert isinstance(policy, AdaptivePolicy)
+        assert [c.name for c in policy.components] == ["fifo", "mru"]
+
+    def test_adaptive_partial_bits(self, small_config):
+        policy = build_l2_policy(small_config, "adaptive", partial_bits=8)
+        assert policy.tag_transform(0x1FF) == 0xFF
+
+    def test_adaptive5(self, small_config):
+        policy = build_l2_policy(small_config, "adaptive5")
+        assert len(policy.components) == 5
+
+    def test_sbar(self, small_config):
+        policy = build_l2_policy(small_config, "sbar", num_leaders=8)
+        assert isinstance(policy, SbarPolicy)
+        assert len(policy.leader_sets) == 8
+
+    def test_sbar_needs_two_components(self, small_config):
+        with pytest.raises(ValueError):
+            build_l2_policy(small_config, "sbar", ("lru", "lfu", "fifo"))
+
+    def test_unknown_policy(self, small_config):
+        with pytest.raises(ValueError):
+            build_l2_policy(small_config, "clairvoyant")
+
+
+class TestWorkloadCache:
+    def test_trace_cached(self):
+        setup = make_setup("mini", accesses=1000)
+        cache = WorkloadCache(setup)
+        assert cache.trace("lucas") is cache.trace("lucas")
+
+    def test_compiled_cached(self):
+        setup = make_setup("mini", accesses=1000)
+        cache = WorkloadCache(setup)
+        assert cache.compiled("lucas") is cache.compiled("lucas")
+
+    def test_simulate_policy(self):
+        setup = make_setup("mini", accesses=1500)
+        cache = WorkloadCache(setup)
+        result = cache.simulate_policy("lucas", "lru")
+        assert result.instructions > 0
+        assert result.cpi > 0
+
+    def test_sweep(self):
+        setup = make_setup("mini", accesses=1500)
+        cache = WorkloadCache(setup)
+        sweep = run_policy_sweep(
+            cache,
+            ["lucas", "art-1"],
+            {"LRU": {"policy_kind": "lru"}, "LFU": {"policy_kind": "lfu"}},
+        )
+        assert set(sweep) == {"lucas", "art-1"}
+        assert set(sweep["lucas"]) == {"LRU", "LFU"}
+
+
+class TestExperimentResult:
+    def test_rows_and_columns(self):
+        result = ExperimentResult("x", "desc", headers=["name", "v"])
+        result.add_row("a", 1.0)
+        result.add_row("b", 2.0)
+        assert result.column("v") == [1.0, 2.0]
+        assert result.row_by_label("b") == ["b", 2.0]
+        with pytest.raises(KeyError):
+            result.row_by_label("c")
+
+    def test_render_includes_notes(self):
+        result = ExperimentResult("x", "desc", headers=["a"])
+        result.add_row(1)
+        result.add_note("paper says hello")
+        text = result.render()
+        assert "x: desc" in text
+        assert "paper says hello" in text

@@ -1,0 +1,47 @@
+"""Unit tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "sec44", "sec46", "sec47", "storage", "theory",
+            "ablations", "ext-shared", "ext-prefetch", "ext-dip", "ext-skew", "ext-validate", "seeds",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_storage_runs(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "544" in out
+        assert "overhead" in out
+
+    def test_fig3_with_subset(self, capsys):
+        code = main([
+            "fig3", "--scale", "mini", "--accesses", "2000",
+            "--workloads", "lucas", "art-1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lucas" in out
+        assert "Average" in out
+
+    def test_fig7_render_map(self, capsys):
+        code = main([
+            "fig7", "--scale", "mini", "--accesses", "3000", "--render-map",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-set map" in out
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--scale", "huge"])

@@ -1,0 +1,190 @@
+"""Smoke + shape tests for every experiment driver.
+
+Each driver runs at a tiny scale with a 3-workload subset covering the
+three locality classes, so the whole module stays fast while still
+checking the *direction* of every figure's result.
+"""
+
+import pytest
+
+from repro.experiments import base
+from repro.experiments import (
+    fig3_mpki,
+    fig4_cpi,
+    fig5_partial_tags,
+    fig6_capacity,
+    fig7_setmaps,
+    fig8_fifo_mru,
+    fig9_associativity,
+    fig10_store_buffer,
+    sec44_five_policy,
+    sec46_l1,
+    sec47_sbar,
+    storage,
+    theory,
+)
+
+SUBSET = ["lucas", "art-1", "tiff2rgba"]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return base.make_setup("mini", accesses=4000)
+
+
+class TestFig3:
+    def test_rows_and_average(self, setup):
+        result = fig3_mpki.run(setup=setup, workloads=SUBSET)
+        assert [row[0] for row in result.rows] == SUBSET + ["Average"]
+        assert result.headers == ["benchmark", "Adaptive", "LFU", "LRU"]
+
+    def test_adaptive_tracks_best(self, setup):
+        result = fig3_mpki.run(setup=setup, workloads=SUBSET)
+        for name in SUBSET:
+            row = result.row_by_label(name)
+            adaptive, lfu, lru = row[1], row[2], row[3]
+            assert adaptive <= 1.25 * min(lfu, lru), name
+
+    def test_average_improves_on_lru(self, setup):
+        result = fig3_mpki.run(setup=setup, workloads=SUBSET)
+        avg = result.row_by_label("Average")
+        assert avg[1] < avg[3]  # Adaptive < LRU
+
+
+class TestFig4:
+    def test_cpi_positive_and_ordered(self, setup):
+        result = fig4_cpi.run(setup=setup, workloads=SUBSET)
+        for row in result.rows:
+            assert all(value > 0 for value in row[1:])
+        avg = result.row_by_label("Average")
+        assert avg[1] <= min(avg[2], avg[3]) * 1.05
+
+
+class TestFig5:
+    def test_tag_width_sweep(self, setup):
+        result = fig5_partial_tags.run(
+            setup=setup, workloads=SUBSET, tag_widths=(None, 10, 6, 2)
+        )
+        labels = result.column("tag width")
+        assert labels == ["full", "10-bit", "6-bit", "2-bit"]
+        increases = result.column("MPKI increase %")
+        assert increases[0] == pytest.approx(0.0)
+        # Wide partial tags stay near full; 2-bit tags visibly degrade.
+        assert abs(increases[1]) < 5.0
+        assert increases[3] > increases[1] - 1e-9
+
+
+class TestFig6:
+    def test_configurations_present(self, setup):
+        result = fig6_capacity.run(setup=setup, workloads=SUBSET)
+        labels = result.column("configuration")
+        assert any("9-way" in label for label in labels)
+        assert any("10-way" in label for label in labels)
+
+    def test_bigger_lru_caches_help_lru(self, setup):
+        result = fig6_capacity.run(setup=setup, workloads=SUBSET)
+        base_cpi = result.row_by_label("LRU (8-way)")[1]
+        ten_way = next(r for r in result.rows if "10-way" in r[0])[1]
+        assert ten_way <= base_cpi * 1.02
+
+    def test_adaptive_competitive_with_capacity(self, setup):
+        result = fig6_capacity.run(setup=setup, workloads=SUBSET)
+        adaptive = result.row_by_label("Adaptive (8-bit tags)")[1]
+        ten_way = next(r for r in result.rows if "10-way" in r[0])[1]
+        # Figure 6's claim: adaptivity beats the 25%-bigger cache.
+        assert adaptive < ten_way * 1.05
+
+
+class TestFig7:
+    def test_fractions_in_range(self, setup):
+        result = fig7_setmaps.run(setup=setup, samples=6)
+        for row in result.rows:
+            assert all(0.0 <= v <= 1.0 for v in row[1:])
+
+    def test_collect_returns_map(self, setup):
+        setmap, policy = fig7_setmaps.collect("ammp", setup, samples=6)
+        assert setmap.num_sets == setup.l2.num_sets
+        assert len(policy.shadows) == 2
+
+
+class TestFig8:
+    def test_adaptive_tracks_best_of_fifo_mru(self, setup):
+        result = fig8_fifo_mru.run(setup=setup, workloads=SUBSET)
+        for name in SUBSET:
+            row = result.row_by_label(name)
+            adaptive, fifo, mru = row[1], row[2], row[3]
+            assert adaptive <= 1.3 * min(fifo, mru), name
+
+    def test_mru_wins_on_art(self, setup):
+        result = fig8_fifo_mru.run(setup=setup, workloads=SUBSET)
+        row = result.row_by_label("art-1")
+        assert row[3] < row[2]  # MRU < FIFO
+
+
+class TestFig9:
+    def test_rows_per_associativity(self, setup):
+        result = fig9_associativity.run(
+            setup=setup, workloads=SUBSET, associativities=(4, 8)
+        )
+        assert result.column("ways") == [4, 8]
+        for row in result.rows:
+            assert row[1] > -20.0  # improvement never catastrophic
+
+
+class TestFig10:
+    def test_benefit_shrinks_with_buffer(self, setup):
+        result = fig10_store_buffer.run(
+            setup=setup, workloads=SUBSET, buffer_sizes=(4, 64)
+        )
+        improvements = result.column("improvement %")
+        assert improvements[0] >= improvements[1] - 2.0
+
+    def test_cpi_decreases_with_buffer(self, setup):
+        result = fig10_store_buffer.run(
+            setup=setup, workloads=SUBSET, buffer_sizes=(4, 64)
+        )
+        lru = result.column("LRU avg CPI")
+        assert lru[1] <= lru[0]
+
+
+class TestSec44:
+    def test_five_policy_close_to_two(self, setup):
+        result = sec44_five_policy.run(setup=setup, workloads=SUBSET)
+        avg = result.row_by_label("Average")
+        two, five = avg[1], avg[2]
+        assert abs(five - two) / two < 0.25
+
+
+class TestSec46:
+    def test_l1_rows(self, setup):
+        result = sec46_l1.run(setup=setup, workloads=SUBSET)
+        labels = result.column("cache")
+        assert labels == ["L1 instruction", "L1 data"]
+        # Adaptive never dramatically worse at either L1.
+        for row in result.rows:
+            assert row[3] > -10.0
+
+
+class TestSec47:
+    def test_sbar_between_lru_and_adaptive(self, setup):
+        result = sec47_sbar.run(setup=setup, workloads=SUBSET, num_leaders=8)
+        avg = result.row_by_label("Average")
+        adaptive, sbar, lru = avg[1], avg[2], avg[4]
+        assert sbar <= lru * 1.02
+        assert sbar >= adaptive * 0.9
+
+
+class TestStorage:
+    def test_paper_numbers_in_rows(self):
+        result = storage.run()
+        totals = {row[0]: row[1] for row in result.rows}
+        assert totals["conventional (data+tags+state)"] == pytest.approx(544.0)
+        assert totals["adaptive, full tags"] == pytest.approx(598.0)
+        assert totals["adaptive, 8-bit partial tags"] == pytest.approx(566.0)
+
+
+class TestTheory:
+    def test_bound_holds_everywhere(self):
+        result = theory.run(seeds=2, trace_length=4000)
+        assert all(row[2] for row in result.rows)
+        assert all(row[1] <= 2.0 for row in result.rows)

@@ -1,0 +1,121 @@
+"""Tests for the extension experiments (Section 6 future work) and
+the design-choice ablations."""
+
+import pytest
+
+from repro.experiments import ablations, ext_prefetch, ext_shared
+from repro.experiments.base import make_setup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("mini", accesses=4000)
+
+
+class TestExtShared:
+    def test_rows_per_pair(self, setup):
+        result = ext_shared.run(
+            setup=setup, pairs=[("lucas", "tiff2rgba"), ("gcc-2", "art-1")]
+        )
+        assert [row[0] for row in result.rows] == [
+            "lucas+tiff2rgba", "gcc-2+art-1"
+        ]
+
+    def test_adaptive_beats_lru_on_mixes(self, setup):
+        result = ext_shared.run(
+            setup=setup, pairs=[("lucas", "tiff2rgba"), ("bzip2", "xanim")]
+        )
+        for row in result.rows:
+            assert row[4] > 0.0, row  # vs LRU %
+
+    def test_adaptive_near_best_fixed(self, setup):
+        result = ext_shared.run(setup=setup,
+                                pairs=[("parser", "x11quake-1")])
+        assert result.rows[0][5] > -15.0  # vs best fixed %
+
+
+class TestExtPrefetch:
+    def test_configurations_present(self, setup):
+        result = ext_prefetch.run(setup=setup, workloads=["swim", "mcf"])
+        assert result.headers == [
+            "benchmark", "none", "nextline", "stride", "hybrid"
+        ]
+
+    def test_stride_wins_on_sweeps(self, setup):
+        result = ext_prefetch.run(setup=setup, workloads=["swim"])
+        row = result.row_by_label("swim")
+        none, stride = row[1], row[3]
+        assert stride < 0.5 * none
+
+    def test_hybrid_tracks_best_component(self, setup):
+        result = ext_prefetch.run(
+            setup=setup, workloads=["swim", "mcf", "lucas"]
+        )
+        for name in ("swim", "mcf", "lucas"):
+            row = result.row_by_label(name)
+            best = min(row[1:4])
+            hybrid = row[4]
+            assert hybrid <= 1.25 * best + 1.0, name
+
+    def test_prefetch_never_explodes_misses(self, setup):
+        """Even on pointer chasing, the hybrid's pollution stays
+        bounded relative to no prefetching."""
+        result = ext_prefetch.run(setup=setup, workloads=["mcf", "ft"])
+        for name in ("mcf", "ft"):
+            row = result.row_by_label(name)
+            assert row[4] <= 1.3 * row[1], name
+
+
+class TestExtDip:
+    @pytest.fixture(scope="class")
+    def result(self, setup):
+        from repro.experiments import ext_dip
+
+        return ext_dip.run(setup=setup,
+                           workloads=["art-1", "gcc-1", "lucas"])
+
+    def test_dip_fixes_thrashing(self, result):
+        for name in ("art-1", "gcc-1"):
+            row = result.row_by_label(name)
+            dip, lru = row[1], row[5]
+            assert dip < 0.8 * lru, name
+
+    def test_dip_tracks_lru_on_recency(self, result):
+        row = result.row_by_label("lucas")
+        assert row[1] <= 1.1 * row[5]
+
+    def test_full_adaptive_lru_bip_comparable(self, result):
+        avg = result.row_by_label("Average")
+        dip, adaptive_bip = avg[1], avg[2]
+        assert abs(dip - adaptive_bip) / adaptive_bip < 0.35
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def result(self, setup):
+        return ablations.run(setup=setup, workloads=["lucas", "art-1",
+                                                     "ammp"])
+
+    def test_groups_covered(self, result):
+        groups = set(result.column("group"))
+        assert groups == {
+            "baseline", "history kind", "history window", "fallback",
+            "partial tags (8-bit)", "sbar leaders",
+        }
+
+    def test_baseline_present(self, result):
+        baseline = [row for row in result.rows if row[0] == "baseline"]
+        assert len(baseline) == 1
+
+    def test_variants_near_baseline(self, result):
+        """The robustness claim: no reasonable variant collapses."""
+        baseline_mpki = next(
+            row[2] for row in result.rows if row[0] == "baseline"
+        )
+        for row in result.rows:
+            assert row[2] < 2.0 * baseline_mpki, row
+
+    def test_all_metrics_positive(self, result):
+        for row in result.rows:
+            assert row[2] > 0
+            assert row[3] > 0

@@ -1,0 +1,86 @@
+"""Docs-vs-code consistency checks for the docs/ directory."""
+
+import pathlib
+import re
+
+import repro
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+DOCS = REPO_ROOT / "docs"
+
+
+class TestDocsExist:
+    def test_expected_guides_present(self):
+        names = sorted(p.name for p in DOCS.glob("*.md"))
+        assert names == [
+            "api.md",
+            "extending-policies.md",
+            "reproducing.md",
+            "theory.md",
+            "timing-model.md",
+            "workloads.md",
+        ]
+
+
+class TestDocsReferenceRealCode:
+    def _python_identifiers(self, text):
+        """Dotted module-ish identifiers mentioned in backticks."""
+        return set(re.findall(r"`(repro\.[a-z_.]+)`", text))
+
+    def test_modules_named_in_docs_importable(self):
+        import importlib
+
+        for doc in DOCS.glob("*.md"):
+            for identifier in self._python_identifiers(doc.read_text()):
+                module_path = identifier
+                while module_path:
+                    try:
+                        importlib.import_module(module_path)
+                        break
+                    except ImportError:
+                        # Maybe the tail is an attribute; strip one part.
+                        if "." not in module_path:
+                            raise AssertionError(
+                                f"{doc.name} references {identifier}, "
+                                "which does not import"
+                            )
+                        module_path = module_path.rsplit(".", 1)[0]
+
+    def test_api_doc_names_exist(self):
+        """Every CamelCase symbol the API doc shows must exist in repro
+        or a subpackage."""
+        import repro.analysis
+        import repro.cache
+        import repro.core
+        import repro.cpu
+        import repro.experiments
+        import repro.policies
+        import repro.prefetch
+        import repro.workloads
+
+        text = (DOCS / "api.md").read_text()
+        symbols = set(re.findall(r"`([A-Z][A-Za-z]+)\(", text))
+        symbols |= set(re.findall(r"`([A-Z][A-Za-z]+)`", text))
+        namespaces = [
+            repro, repro.cache, repro.core, repro.cpu, repro.policies,
+            repro.workloads, repro.analysis, repro.prefetch,
+            repro.experiments,
+        ]
+        for symbol in symbols:
+            assert any(hasattr(ns, symbol) for ns in namespaces), symbol
+
+    def test_theory_doc_points_at_real_tests(self):
+        text = (DOCS / "theory.md").read_text()
+        for path in re.findall(r"tests/[a-z_/]+\.py", text):
+            assert (REPO_ROOT / path).exists(), path
+
+    def test_workloads_doc_names_real_primitives(self):
+        import repro.workloads.synth as synth
+
+        text = (DOCS / "workloads.md").read_text()
+        for name in re.findall(r"`([a-z_]+)`\s*\|", text):
+            if hasattr(synth, name):
+                continue
+            import repro.workloads.phases as phases
+
+            assert hasattr(phases, name) or name in ("primitive",), name

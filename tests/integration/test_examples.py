@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs and says what it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        names = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        assert names == [
+            "custom_policy.py",
+            "design_space.py",
+            "media_server.py",
+            "page_cache.py",
+            "phase_visualizer.py",
+            "quickstart.py",
+        ]
+
+    @pytest.mark.slow
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "LRU-friendly" in out
+        assert "LFU-friendly" in out
+        assert "-> best: LRU" in out
+        assert "-> best: LFU" in out
+
+    @pytest.mark.slow
+    def test_media_server(self):
+        out = run_example("media_server.py")
+        assert "Adaptive" in out
+        assert "CPI" in out
+
+    @pytest.mark.slow
+    def test_design_space(self):
+        out = run_example("design_space.py")
+        assert "Which policies to adapt over?" in out
+        assert "SBAR" in out
+
+    @pytest.mark.slow
+    def test_custom_policy(self):
+        out = run_example("custom_policy.py")
+        assert "slru" in out
+        assert "the duel settled on" in out
+
+    @pytest.mark.slow
+    def test_page_cache(self):
+        out = run_example("page_cache.py")
+        assert "page faults" in out
+        assert "Adaptive" in out
+
+    @pytest.mark.slow
+    def test_phase_visualizer(self):
+        out = run_example("phase_visualizer.py")
+        assert "LFU share" in out
+        assert "#" in out or "." in out

@@ -1,0 +1,96 @@
+"""Tests for the repro-sim replay CLI."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.replay import build_parser, main, run_replay
+from repro.workloads.io import save_trace
+from repro.workloads.suite import build_workload
+
+
+class TestParser:
+    def test_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_and_workload_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--trace", "x.npz", "--workload", "mcf"]
+            )
+
+
+class TestReplay:
+    def test_workload_replay(self, capsys):
+        code = main([
+            "--workload", "lucas", "--size-kb", "16",
+            "--accesses", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out
+        assert "component misses" in out  # default policy is adaptive
+
+    def test_plain_policy_has_no_shadow_line(self, capsys):
+        main(["--workload", "lucas", "--size-kb", "16",
+              "--accesses", "2000", "--policy", "lru"])
+        out = capsys.readouterr().out
+        assert "component misses" not in out
+
+    def test_timing_mode(self, capsys):
+        code = main([
+            "--workload", "mcf", "--size-kb", "16",
+            "--accesses", "3000", "--timing",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out
+        assert "load_stall" in out
+
+    def test_saved_trace_replay(self, tmp_path, capsys):
+        config = CacheConfig(size_bytes=16 * 1024, ways=8, line_bytes=64)
+        trace = build_workload("ammp", config, accesses=2500)
+        path = tmp_path / "ammp.npz"
+        save_trace(trace, path)
+        code = main(["--trace", str(path), "--size-kb", "16"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ammp" in out
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        code = main(["--workload", "doom-eternal", "--size-kb", "16"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_mode(self, capsys):
+        code = main([
+            "--workload", "tiff2rgba", "--size-kb", "16",
+            "--accesses", "3000",
+            "--compare", "lru", "lfu", "adaptive",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best first" in out
+        assert "adaptive(lru+lfu)" in out
+        # Rows are sorted: the miss column must be non-decreasing.
+        misses = [
+            int(line.split()[-4])
+            for line in out.splitlines()[3:]
+            if line.strip()
+        ]
+        assert misses == sorted(misses)
+
+    def test_compare_rejects_unknown_policy(self, capsys):
+        code = main([
+            "--workload", "lucas", "--size-kb", "16",
+            "--accesses", "1000", "--compare", "lru", "crystal-ball",
+        ])
+        assert code == 2
+
+    def test_partial_bits_forwarded(self):
+        args = build_parser().parse_args([
+            "--workload", "lucas", "--size-kb", "16",
+            "--accesses", "1500", "--partial-bits", "8",
+        ])
+        report = run_replay(args)
+        assert "adaptive(lru+lfu)" in report

@@ -1,0 +1,75 @@
+"""The paper's core property, checked on every primary workload.
+
+Figure 3's qualitative claim — the adaptive cache tracks whichever
+component is better, per benchmark — is the foundation of everything
+else, so it gets a parametrized test across the full 26-program
+primary set rather than spot checks.
+"""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.core.multi import make_adaptive
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lru import LRUPolicy
+from repro.workloads.suite import build_workload, workload_names
+
+CONFIG = CacheConfig(size_bytes=16 * 1024, ways=8, line_bytes=64)
+ACCESSES = 6000
+
+_RESULTS = {}
+
+
+def _misses(name):
+    """Misses of LRU / LFU / adaptive on one workload (cached)."""
+    if name not in _RESULTS:
+        trace = build_workload(name, CONFIG, accesses=ACCESSES)
+        adaptive = make_adaptive(CONFIG.num_sets, CONFIG.ways)
+        caches = {
+            "lru": SetAssociativeCache(
+                CONFIG, LRUPolicy(CONFIG.num_sets, CONFIG.ways)
+            ),
+            "lfu": SetAssociativeCache(
+                CONFIG, LFUPolicy(CONFIG.num_sets, CONFIG.ways)
+            ),
+            "adaptive": SetAssociativeCache(CONFIG, adaptive),
+        }
+        for kind, address, _gap in trace.memory_records():
+            for cache in caches.values():
+                cache.access(address, is_write=(kind == 1))
+        _RESULTS[name] = {
+            label: cache.stats.misses for label, cache in caches.items()
+        }
+    return _RESULTS[name]
+
+
+@pytest.mark.parametrize("name", workload_names(primary_only=True))
+class TestTrackingEveryPrimaryWorkload:
+    def test_adaptive_tracks_better_component(self, name):
+        misses = _misses(name)
+        best = min(misses["lru"], misses["lfu"])
+        # Within 15% of the better component plus a warm-up allowance.
+        allowance = 2 * CONFIG.num_lines // 8
+        assert misses["adaptive"] <= 1.15 * best + allowance, misses
+
+    def test_adaptive_never_tracks_the_worse_component(self, name):
+        """When the components differ materially (>25%), adaptive must
+        land clearly below the worse one."""
+        misses = _misses(name)
+        worse = max(misses["lru"], misses["lfu"])
+        best = min(misses["lru"], misses["lfu"])
+        if worse > 1.25 * best:
+            assert misses["adaptive"] < 0.9 * worse, misses
+
+
+def test_adaptive_beats_both_on_at_least_one_workload():
+    """The paper's ammp phenomenon: somewhere in the primary set,
+    per-set/per-phase selection beats both fixed policies outright."""
+    winners = [
+        name
+        for name in workload_names(primary_only=True)
+        if _misses(name)["adaptive"]
+        < min(_misses(name)["lru"], _misses(name)["lfu"])
+    ]
+    assert winners, "adaptive never beat both components anywhere"

@@ -1,0 +1,63 @@
+"""Unit tests for FIFO replacement."""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.policies.fifo import FIFOPolicy
+
+from tests.conftest import addresses_for_set
+
+
+def make_cache(config):
+    return SetAssociativeCache(
+        config, FIFOPolicy(config.num_sets, config.ways)
+    )
+
+
+class TestFIFOEviction:
+    def test_evicts_oldest_fill(self, tiny_config):
+        cache = make_cache(tiny_config)
+        a, b, c, d, e = addresses_for_set(tiny_config, 0, 5)
+        for address in (a, b, c, d):
+            cache.access(address)
+        result = cache.access(e)
+        assert result.evicted_tag == tiny_config.tag(a)
+
+    def test_hits_do_not_refresh(self, tiny_config):
+        """The FIFO-defining behaviour: unlike LRU, a hit does not save
+        the oldest block from eviction."""
+        cache = make_cache(tiny_config)
+        a, b, c, d, e = addresses_for_set(tiny_config, 0, 5)
+        for address in (a, b, c, d):
+            cache.access(address)
+        for _ in range(5):
+            cache.access(a)  # many hits on the oldest block
+        result = cache.access(e)
+        assert result.evicted_tag == tiny_config.tag(a)
+
+    def test_queue_rotates(self, tiny_config):
+        cache = make_cache(tiny_config)
+        addresses = addresses_for_set(tiny_config, 0, 7)
+        for address in addresses[:5]:
+            cache.access(address)
+        # After one eviction (of addresses[0]), next victim is addresses[1].
+        result = cache.access(addresses[5])
+        assert result.evicted_tag == tiny_config.tag(addresses[1])
+        result = cache.access(addresses[6])
+        assert result.evicted_tag == tiny_config.tag(addresses[2])
+
+
+class TestFIFOvsLRU:
+    def test_differ_on_refreshed_block(self, tiny_config):
+        """A trace engineered so FIFO and LRU pick different victims."""
+        from repro.policies.lru import LRUPolicy
+
+        fifo_cache = make_cache(tiny_config)
+        lru_cache = SetAssociativeCache(
+            tiny_config, LRUPolicy(tiny_config.num_sets, tiny_config.ways)
+        )
+        a, b, c, d, e = addresses_for_set(tiny_config, 0, 5)
+        trace = [a, b, c, d, a, e]
+        for address in trace:
+            fifo_cache.access(address)
+            lru_cache.access(address)
+        assert not fifo_cache.contains(a)  # FIFO evicted the oldest fill
+        assert lru_cache.contains(a)  # LRU kept the refreshed block

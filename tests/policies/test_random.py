@@ -1,0 +1,63 @@
+"""Unit tests for Random replacement."""
+
+from repro.cache.cache import SetAssociativeCache
+from repro.policies.rand import RandomPolicy
+
+from tests.conftest import addresses_for_set
+
+
+class TestRandomPolicy:
+    def test_deterministic_per_seed(self, tiny_config):
+        def run(seed):
+            cache = SetAssociativeCache(
+                tiny_config,
+                RandomPolicy(tiny_config.num_sets, tiny_config.ways, seed=seed),
+            )
+            evicted = []
+            for address in addresses_for_set(tiny_config, 0, 30):
+                result = cache.access(address)
+                if result.evicted_tag is not None:
+                    evicted.append(result.evicted_tag)
+            return evicted
+
+        assert run(7) == run(7)
+
+    def test_different_seeds_differ(self, tiny_config):
+        def run(seed):
+            cache = SetAssociativeCache(
+                tiny_config,
+                RandomPolicy(tiny_config.num_sets, tiny_config.ways, seed=seed),
+            )
+            return [
+                cache.access(a).evicted_tag
+                for a in addresses_for_set(tiny_config, 0, 40)
+            ]
+
+        assert run(1) != run(2)
+
+    def test_evicts_only_valid_blocks(self, tiny_config):
+        cache = SetAssociativeCache(
+            tiny_config, RandomPolicy(tiny_config.num_sets, tiny_config.ways)
+        )
+        resident = set()
+        for address in addresses_for_set(tiny_config, 0, 50):
+            result = cache.access(address)
+            if result.evicted_tag is not None:
+                assert result.evicted_tag in resident
+                resident.discard(result.evicted_tag)
+            resident.add(tiny_config.tag(address))
+
+    def test_eventually_touches_every_way(self, tiny_config):
+        """Over many evictions a random policy should pick each way."""
+        cache = SetAssociativeCache(
+            tiny_config,
+            RandomPolicy(tiny_config.num_sets, tiny_config.ways, seed=3),
+        )
+        evicted = set()
+        for address in addresses_for_set(tiny_config, 0, 400):
+            result = cache.access(address)
+            if result.evicted_tag is not None:
+                way = None  # reconstruct which way was refilled
+                way = cache.sets[0].find(tiny_config.tag(address))
+                evicted.add(way)
+        assert evicted == set(range(tiny_config.ways))

@@ -1,0 +1,68 @@
+"""Unit tests for the policy registry."""
+
+import pytest
+
+from repro.policies.base import ReplacementPolicy
+from repro.policies.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_policies()
+        for expected in ("lru", "lfu", "fifo", "mru", "random", "srrip"):
+            assert expected in names
+
+    def test_make_policy_geometry(self):
+        policy = make_policy("lru", 16, 4)
+        assert policy.num_sets == 16
+        assert policy.ways == 4
+        assert policy.name == "lru"
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("lfu", 8, 4, counter_bits=3)
+        assert policy.counter_bits == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("optimal-from-the-future", 8, 4)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("lru", lambda s, w: None)
+
+    def test_custom_registration(self):
+        class AlwaysWayZero(ReplacementPolicy):
+            name = "way-zero"
+
+            def on_hit(self, set_index, way):
+                pass
+
+            def on_fill(self, set_index, way, tag):
+                pass
+
+            def victim(self, set_index, set_view):
+                return set_view.valid_ways()[0]
+
+        register_policy("test-way-zero", AlwaysWayZero)
+        try:
+            policy = make_policy("test-way-zero", 4, 2)
+            assert isinstance(policy, AlwaysWayZero)
+        finally:
+            # Keep the global registry clean for other tests.
+            from repro.policies import registry
+
+            del registry._REGISTRY["test-way-zero"]
+
+
+class TestBaseValidation:
+    def test_rejects_bad_geometry(self):
+        from repro.policies.lru import LRUPolicy
+
+        with pytest.raises(ValueError):
+            LRUPolicy(0, 4)
+        with pytest.raises(ValueError):
+            LRUPolicy(4, 0)

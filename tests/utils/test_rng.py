@@ -1,0 +1,68 @@
+"""Unit tests for repro.utils.rng."""
+
+import pytest
+
+from repro.utils.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.randint(0, 100) for _ in range(50)] == [
+            b.randint(0, 100) for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert [a.randint(0, 10**9) for _ in range(10)] != [
+            b.randint(0, 10**9) for _ in range(10)
+        ]
+
+    def test_seed_property(self):
+        assert DeterministicRNG(7).seed == 7
+
+
+class TestRanges:
+    def test_randint_inclusive(self):
+        rng = DeterministicRNG(0)
+        values = {rng.randint(0, 3) for _ in range(200)}
+        assert values == {0, 1, 2, 3}
+
+    def test_choice_index_bounds(self):
+        rng = DeterministicRNG(0)
+        for _ in range(100):
+            assert 0 <= rng.choice_index(5) < 5
+
+    def test_choice_index_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).choice_index(0)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRNG(3)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0
+
+
+class TestFork:
+    def test_fork_streams_independent(self):
+        parent = DeterministicRNG(5)
+        child1 = parent.fork(1)
+        child2 = parent.fork(2)
+        seq1 = [child1.randint(0, 10**6) for _ in range(10)]
+        seq2 = [child2.randint(0, 10**6) for _ in range(10)]
+        assert seq1 != seq2
+
+    def test_fork_deterministic(self):
+        a = DeterministicRNG(5).fork(3)
+        b = DeterministicRNG(5).fork(3)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_fork_does_not_disturb_parent(self):
+        a = DeterministicRNG(5)
+        b = DeterministicRNG(5)
+        a.fork(9)
+        assert a.randint(0, 10**6) == b.randint(0, 10**6)

@@ -1,0 +1,112 @@
+"""Unit tests for WorkloadBuilder and BranchProfile."""
+
+import pytest
+
+from repro.workloads.builder import (
+    CODE_SEGMENT_BASE,
+    DATA_SEGMENT_BASE,
+    BranchProfile,
+    WorkloadBuilder,
+)
+from repro.workloads.trace import KIND_LOAD, KIND_STORE
+
+
+class TestBranchProfile:
+    def test_defaults_valid(self):
+        profile = BranchProfile()
+        assert profile.density > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"density": -1},
+            {"loop_bias": 1.5},
+            {"random_fraction": -0.1},
+            {"random_bias": 2.0},
+            {"sites": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BranchProfile(**kwargs)
+
+
+class TestBuilder:
+    def test_memory_records_match_stream(self):
+        builder = WorkloadBuilder(seed=1, write_fraction=0.0,
+                                  branches=None)
+        trace = builder.build("t", [0, 1, 2, 1, 0])
+        addresses = [r[1] for r in trace.memory_records()]
+        assert addresses == [
+            DATA_SEGMENT_BASE + line * 64 for line in [0, 1, 2, 1, 0]
+        ]
+
+    def test_write_fraction_zero_and_one(self):
+        all_loads = WorkloadBuilder(seed=2, write_fraction=0.0,
+                                    branches=None).build("t", list(range(100)))
+        assert all(r[0] == KIND_LOAD for r in all_loads.memory_records())
+        all_stores = WorkloadBuilder(seed=2, write_fraction=1.0,
+                                     branches=None).build("t", list(range(100)))
+        assert all(r[0] == KIND_STORE for r in all_stores.memory_records())
+
+    def test_write_fraction_approximate(self):
+        builder = WorkloadBuilder(seed=3, write_fraction=0.3, branches=None)
+        trace = builder.build("t", list(range(5000)))
+        fraction = trace.store_count() / trace.memory_access_count()
+        assert 0.25 < fraction < 0.35
+
+    def test_mean_gap_approximate(self):
+        builder = WorkloadBuilder(seed=4, mean_gap=5.0, branches=None)
+        trace = builder.build("t", list(range(5000)))
+        mean = sum(r[2] for r in trace.records) / len(trace.records)
+        assert 4.0 < mean < 6.0
+
+    def test_zero_gap(self):
+        builder = WorkloadBuilder(seed=5, mean_gap=0.0, branches=None)
+        trace = builder.build("t", list(range(100)))
+        assert all(r[2] == 0 for r in trace.records)
+
+    def test_branch_density(self):
+        builder = WorkloadBuilder(
+            seed=6, branches=BranchProfile(density=0.5)
+        )
+        trace = builder.build("t", list(range(10_000)))
+        ratio = trace.branch_count() / trace.memory_access_count()
+        assert 0.45 < ratio < 0.55
+
+    def test_branch_pcs_in_code_segment(self):
+        builder = WorkloadBuilder(seed=7, branches=BranchProfile(density=1.0))
+        trace = builder.build("t", list(range(1000)))
+        for _kind, pc, _gap in trace.branch_records():
+            assert pc >= CODE_SEGMENT_BASE
+            assert pc < DATA_SEGMENT_BASE
+
+    def test_deterministic(self):
+        stream = list(range(300))
+        a = WorkloadBuilder(seed=8).build("t", stream)
+        b = WorkloadBuilder(seed=8).build("t", stream)
+        assert a.records == b.records
+
+    def test_different_seeds_differ(self):
+        stream = list(range(300))
+        a = WorkloadBuilder(seed=8).build("t", stream)
+        b = WorkloadBuilder(seed=9).build("t", stream)
+        assert a.records != b.records
+
+    def test_instruction_count_consistency(self):
+        builder = WorkloadBuilder(seed=10)
+        trace = builder.build("t", list(range(500)))
+        assert trace.instruction_count == \
+            sum(r[2] for r in trace.records) + len(trace.records)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_gap": -1},
+            {"write_fraction": 1.5},
+            {"line_bytes": 100},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadBuilder(**kwargs)

@@ -1,0 +1,69 @@
+"""Unit tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.workloads.io import FORMAT_VERSION, load_trace, save_trace
+from repro.workloads.suite import build_workload
+from repro.workloads.trace import KIND_LOAD, Trace
+
+
+class TestRoundTrip:
+    def test_suite_workload_round_trips(self, tmp_path):
+        config = CacheConfig(size_bytes=8 * 1024, ways=8, line_bytes=64)
+        trace = build_workload("ammp", config, accesses=3000)
+        path = tmp_path / "ammp.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.records == trace.records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(Trace("empty"), path)
+        loaded = load_trace(path)
+        assert loaded.name == "empty"
+        assert loaded.records == []
+
+    def test_large_addresses_preserved(self, tmp_path):
+        trace = Trace("big", [(KIND_LOAD, (1 << 39) + 64, 3)])
+        path = tmp_path / "big.npz"
+        save_trace(trace, path)
+        assert load_trace(path).records == trace.records
+
+    def test_file_is_compact(self, tmp_path):
+        config = CacheConfig(size_bytes=8 * 1024, ways=8, line_bytes=64)
+        trace = build_workload("lucas", config, accesses=5000)
+        path = tmp_path / "lucas.npz"
+        save_trace(trace, path)
+        bytes_per_record = path.stat().st_size / len(trace)
+        assert bytes_per_record < 16
+
+
+class TestVersioning:
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(FORMAT_VERSION + 1),
+            name=np.str_("x"),
+            kinds=np.zeros(1, dtype=np.int8),
+            addresses=np.zeros(1, dtype=np.int64),
+            gaps=np.zeros(1, dtype=np.int32),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_ragged_file_rejected(self, tmp_path):
+        path = tmp_path / "ragged.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(FORMAT_VERSION),
+            name=np.str_("x"),
+            kinds=np.zeros(2, dtype=np.int8),
+            addresses=np.zeros(1, dtype=np.int64),
+            gaps=np.zeros(2, dtype=np.int32),
+        )
+        with pytest.raises(ValueError, match="ragged"):
+            load_trace(path)

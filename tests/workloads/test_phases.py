@@ -1,0 +1,89 @@
+"""Unit tests for stream composition (phases, interleaving, set bands)."""
+
+import pytest
+
+from repro.workloads.phases import (
+    concat_phases,
+    confine_to_sets,
+    interleave_streams,
+)
+
+
+class TestConcat:
+    def test_order_preserved(self):
+        assert concat_phases([1, 2], [3], [4, 5]) == [1, 2, 3, 4, 5]
+
+    def test_empty(self):
+        assert concat_phases() == []
+        assert concat_phases([], [1]) == [1]
+
+
+class TestInterleave:
+    def test_length_preserved(self):
+        out = interleave_streams([[1] * 50, [2] * 50], seed=1)
+        assert len(out) == 100
+
+    def test_all_sources_used(self):
+        out = interleave_streams([[1] * 100, [2] * 100], seed=2)
+        assert 1 in out
+        assert 2 in out
+
+    def test_weights_respected(self):
+        out = interleave_streams(
+            [[1] * 500, [2] * 500], weights=[0.9, 0.1], seed=3
+        )
+        ones = out.count(1)
+        assert ones > 0.8 * len(out)
+
+    def test_per_stream_order_preserved(self):
+        a = list(range(100))
+        b = list(range(1000, 1100))
+        out = interleave_streams([a, b], seed=4)
+        got_a = [x for x in out if x < 1000]
+        # Stream A's elements appear in their original order (with wrap).
+        non_wrapped = got_a[: len(a)]
+        assert non_wrapped == sorted(non_wrapped)
+
+    def test_deterministic(self):
+        streams = [[1, 2, 3], [4, 5, 6]]
+        assert interleave_streams(streams, seed=5) == \
+            interleave_streams(streams, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interleave_streams([])
+        with pytest.raises(ValueError):
+            interleave_streams([[1], []])
+        with pytest.raises(ValueError):
+            interleave_streams([[1], [2]], weights=[1.0])
+        with pytest.raises(ValueError):
+            interleave_streams([[1], [2]], weights=[0.0, 0.0])
+
+
+class TestConfineToSets:
+    def test_lands_in_band(self):
+        stream = list(range(200))
+        out = confine_to_sets(stream, 8, 16, num_sets=32)
+        assert all(8 <= line % 32 < 16 for line in out)
+
+    def test_distinct_lines_stay_distinct(self):
+        stream = list(range(500))
+        out = confine_to_sets(stream, 0, 4, num_sets=64)
+        assert len(set(out)) == len(set(stream))
+
+    def test_identity_when_full_band(self):
+        stream = [0, 1, 2, 65, 66]
+        out = confine_to_sets(stream, 0, 64, num_sets=64)
+        assert out == stream
+
+    def test_repeats_preserved(self):
+        stream = [5, 5, 7, 5]
+        out = confine_to_sets(stream, 2, 6, num_sets=16)
+        assert out[0] == out[1] == out[3]
+        assert out[2] != out[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confine_to_sets([1], 4, 4, 8)
+        with pytest.raises(ValueError):
+            confine_to_sets([1], 0, 9, 8)

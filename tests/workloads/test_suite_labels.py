@@ -1,0 +1,60 @@
+"""Suite-wide consistency: every workload behaves as its label claims.
+
+The locality label on each :class:`WorkloadSpec` is load-bearing — the
+experiment analyses and EXPERIMENTS.md lean on it — so this module
+checks the whole 100-program suite against its own labels.
+"""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lru import LRUPolicy
+from repro.workloads.suite import EXTENDED_SET, build_workload
+
+CONFIG = CacheConfig(size_bytes=16 * 1024, ways=8, line_bytes=64)
+ACCESSES = 6000
+
+
+def _misses(name, policy_cls):
+    trace = build_workload(name, CONFIG, accesses=ACCESSES)
+    cache = SetAssociativeCache(
+        CONFIG, policy_cls(CONFIG.num_sets, CONFIG.ways)
+    )
+    for kind, address, _gap in trace.memory_records():
+        cache.access(address, is_write=(kind == 1))
+    return cache.stats.misses
+
+
+def _specs(locality):
+    return [spec for spec in EXTENDED_SET if spec.locality == locality]
+
+
+class TestLabelsMatchBehaviour:
+    @pytest.mark.parametrize("spec", _specs("lru"), ids=lambda s: s.name)
+    def test_lru_labelled(self, spec):
+        """'lru' workloads: LRU at least as good as LFU (with margin)."""
+        assert _misses(spec.name, LRUPolicy) <= \
+            1.05 * _misses(spec.name, LFUPolicy)
+
+    @pytest.mark.parametrize("spec", _specs("lfu"), ids=lambda s: s.name)
+    def test_lfu_labelled(self, spec):
+        assert _misses(spec.name, LFUPolicy) <= \
+            1.05 * _misses(spec.name, LRUPolicy)
+
+    @pytest.mark.parametrize("spec", _specs("low"), ids=lambda s: s.name)
+    def test_low_labelled(self, spec):
+        """'low' workloads fit in the cache: sub-2% miss ratio under LRU
+        once warm (bounded here by a generous absolute threshold)."""
+        assert _misses(spec.name, LRUPolicy) < 0.12 * ACCESSES
+
+    @pytest.mark.parametrize("spec", _specs("stream"), ids=lambda s: s.name)
+    def test_stream_labelled(self, spec):
+        """'stream' workloads pressure the cache hard under LRU."""
+        assert _misses(spec.name, LRUPolicy) > 0.1 * ACCESSES
+
+    def test_every_locality_class_populated(self):
+        for locality in ("lru", "lfu", "mru", "phase", "stream",
+                         "dither", "low"):
+            assert _specs(locality), locality
