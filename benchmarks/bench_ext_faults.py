@@ -1,0 +1,42 @@
+"""Bench: MPKI degradation versus injected fault rate.
+
+Claim under test: corrupting the adaptive machinery's auxiliary state
+(shadow tags, miss histories, selector) degrades MPKI gracefully and
+bounded — it never crashes the simulation, never breaks statistics
+consistency, and an armed-but-quiet injector is bit-identical to the
+fault-free baseline.
+"""
+
+from repro.experiments import ext_faults
+
+from conftest import run_and_report
+
+WORKLOADS = ["lucas", "art-1", "ammp", "mcf"]
+
+RATES = (0.001, 0.01, 0.05)
+
+
+def test_ext_faults(benchmark, bench_setup):
+    def runner():
+        return ext_faults.run(
+            setup=bench_setup, workloads=WORKLOADS, rates=RATES
+        )
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "avg_adaptive_mpki": r.row_by_label("Average")[2],
+            "avg_mpki_at_worst_rate": r.row_by_label("Average")[4 + len(RATES) - 1],
+            "worst_delta_pct": r.row_by_label("Average")[4 + len(RATES)],
+        },
+    )
+    for name in WORKLOADS:
+        row = result.row_by_label(name)
+        baseline, armed_quiet = row[2], row[3]
+        # Arming alone must not move the needle at all.
+        assert armed_quiet == baseline, name
+    # Degradation stays bounded: even at a 5% per-access fault rate the
+    # adaptive cache must not blow past 2x its fault-free MPKI.
+    average = result.row_by_label("Average")
+    assert average[4 + len(RATES) - 1] <= 2.0 * max(average[2], 0.5)

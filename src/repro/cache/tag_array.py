@@ -103,6 +103,39 @@ class TagArray:
         """Membership test on an already-transformed tag."""
         return self.sets[set_index].find(stored_tag) is not None
 
+    def corrupt_stored(
+        self, set_index: int, old_stored: int, new_stored: int
+    ) -> bool:
+        """Overwrite a resident stored tag in place (fault-injection hook).
+
+        Models bit flips in the shadow array's tag SRAM: the block in
+        the way holding ``old_stored`` now claims to be ``new_stored``,
+        keeping its per-way policy metadata (recency, frequency). If the
+        flipped tag aliases a tag already resident in the set, the block
+        is simply dropped — exactly the information loss partial tags
+        already tolerate by design.
+
+        Shadow state is performance-only: corrupting it can shift which
+        component the adaptive policy imitates but can never make the
+        *real* cache serve wrong data.
+
+        Returns:
+            True if a resident tag was corrupted (or dropped to
+            aliasing), False if ``old_stored`` was not resident.
+        """
+        shadow_set = self.sets[set_index]
+        way = shadow_set.find(old_stored)
+        if way is None or new_stored == old_stored:
+            return False
+        shadow_set.evict(way)
+        if shadow_set.find(new_stored) is not None:
+            # The corrupted tag collides with another resident block:
+            # the way turns invalid and will be refilled on a later miss.
+            self.policy.on_invalidate(set_index, way)
+        else:
+            shadow_set.install(way, new_stored)
+        return True
+
     def resident_tags(self, set_index: int) -> List[int]:
         """Transformed tags currently resident in ``set_index``."""
         return self.sets[set_index].resident_tags()

@@ -110,6 +110,9 @@ class AdaptivePolicy(ReplacementPolicy):
         # Imitation decisions per set per component, drained by Figure 7.
         self._decisions = [[0] * len(self.components) for _ in range(num_sets)]
         self.fallback_evictions = 0
+        # Armed by repro.faults.FaultInjector; None costs one pointer
+        # comparison per access and nothing else.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # ReplacementPolicy events
@@ -123,6 +126,8 @@ class AdaptivePolicy(ReplacementPolicy):
         self.histories[set_index].record([o.missed for o in outcomes])
         self._last_outcomes = outcomes
         self._last_set = set_index
+        if self.fault_injector is not None:
+            self.fault_injector.tick()
 
     def on_hit(self, set_index: int, way: int) -> None:
         self._check_slot(set_index, way)

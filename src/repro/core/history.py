@@ -62,6 +62,31 @@ class MissHistory(abc.ABC):
     def misses(self, component: int) -> int:
         """Recorded miss score of ``component``."""
 
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Forget every recorded event (fault-injection hook).
+
+        Models a transient fault wiping the buffer. The history is hint
+        state only: a cleared buffer merely resets the selector toward
+        the first component, it cannot make the cache return wrong data.
+        """
+
+    def scramble(self, rng, events: int = 4) -> None:
+        """Replace the recorded state with random decisive events.
+
+        Models a multi-bit upset in the buffer's SRAM. The corruption is
+        expressed through :meth:`record` so every variant's internal
+        invariants (window/count agreement) hold even for faulted state.
+
+        Args:
+            rng: a :class:`~repro.utils.rng.DeterministicRNG`.
+            events: number of random decisive events to record.
+        """
+        self.clear()
+        for _ in range(events):
+            loser = rng.choice_index(self.num_components)
+            self.record([i == loser for i in range(self.num_components)])
+
     def best_component(self) -> int:
         """Component with the fewest recorded misses; ties favour the
         lower index (the paper's example imitates A on equal counts)."""
@@ -83,6 +108,9 @@ class CounterHistory(MissHistory):
 
     def misses(self, component: int) -> int:
         return self._counts[component]
+
+    def clear(self) -> None:
+        self._counts = [0] * self.num_components
 
 
 class SaturatingCounterHistory(MissHistory):
@@ -110,6 +138,9 @@ class SaturatingCounterHistory(MissHistory):
 
     def misses(self, component: int) -> int:
         return self._counts[component]
+
+    def clear(self) -> None:
+        self._counts = [0] * self.num_components
 
 
 class BitVectorHistory(MissHistory):
@@ -144,6 +175,10 @@ class BitVectorHistory(MissHistory):
 
     def misses(self, component: int) -> int:
         return self._counts[component]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._counts = [0] * self.num_components
 
     def recorded_events(self) -> int:
         """Number of events currently in the window (testing aid)."""

@@ -113,6 +113,9 @@ class SbarPolicy(ReplacementPolicy):
         # Recency stamps for the aliasing fallback in leader sets.
         self._clock = 0
         self._stamp = [[0] * ways for _ in range(num_sets)]
+        # Armed by repro.faults.FaultInjector; None costs one pointer
+        # comparison per access and nothing else.
+        self.fault_injector = None
 
     @property
     def leader_sets(self) -> List[int]:
@@ -123,6 +126,20 @@ class SbarPolicy(ReplacementPolicy):
         """Component the global selector currently favours."""
         return 1 if self._psel > self._psel_mid else 0
 
+    @property
+    def selector_max(self) -> int:
+        """Largest value the PSEL selector can hold."""
+        return self._psel_max
+
+    def set_selector(self, value: int) -> None:
+        """Clamp-write the PSEL counter (fault-injection hook).
+
+        The selector is a pure performance hint: an arbitrary value only
+        changes which component the follower sets imitate until real
+        decisive misses re-train it, so corrupting it is always safe.
+        """
+        self._psel = max(0, min(self._psel_max, value))
+
     # ------------------------------------------------------------------
     # ReplacementPolicy events
     # ------------------------------------------------------------------
@@ -132,19 +149,22 @@ class SbarPolicy(ReplacementPolicy):
         slot = self._leader_slot.get(set_index)
         if slot is None:
             self._last_outcomes = []
-            return
-        outcomes = [
-            shadow.lookup_update(slot, tag, is_write) for shadow in self.shadows
-        ]
-        missed = [o.missed for o in outcomes]
-        self.histories[slot].record(missed)
-        if missed[0] != missed[1]:
-            # A decisive miss is evidence against the missing component.
-            if missed[0] and self._psel < self._psel_max:
-                self._psel += 1
-            elif missed[1] and self._psel > 0:
-                self._psel -= 1
-        self._last_outcomes = outcomes
+        else:
+            outcomes = [
+                shadow.lookup_update(slot, tag, is_write)
+                for shadow in self.shadows
+            ]
+            missed = [o.missed for o in outcomes]
+            self.histories[slot].record(missed)
+            if missed[0] != missed[1]:
+                # A decisive miss is evidence against the missing component.
+                if missed[0] and self._psel < self._psel_max:
+                    self._psel += 1
+                elif missed[1] and self._psel > 0:
+                    self._psel -= 1
+            self._last_outcomes = outcomes
+        if self.fault_injector is not None:
+            self.fault_injector.tick()
 
     def on_hit(self, set_index: int, way: int) -> None:
         self._check_slot(set_index, way)

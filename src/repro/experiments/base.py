@@ -11,8 +11,10 @@ the ``mini`` setup further shrinks things for the benchmark harness.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.tables import render_table
 from repro.cache.cache import SetAssociativeCache
@@ -22,8 +24,10 @@ from repro.core.partial import PartialTagScheme
 from repro.core.sbar import SbarPolicy
 from repro.cpu.config import ProcessorConfig
 from repro.cpu.timing import CompiledWorkload, TimingResult, compile_workload, simulate
+from repro.experiments import checkpoint as checkpoint_mod
 from repro.policies.base import ReplacementPolicy
 from repro.policies.registry import make_policy
+from repro.workloads.io import TraceFormatError, load_trace, save_trace
 from repro.workloads.suite import build_workload, workload_names
 from repro.workloads.trace import Trace
 
@@ -116,26 +120,74 @@ def build_l2_policy(
     return make_policy(kind, config.num_sets, config.ways)
 
 
+# Default on-disk trace cache directory for WorkloadCache instances
+# created without an explicit trace_dir (set by the CLI's --trace-cache
+# flag so experiments stay oblivious to it). None disables disk caching.
+_DEFAULT_TRACE_DIR: Optional[str] = None
+
+
+def set_default_trace_dir(path: Optional[Union[str, os.PathLike]]) -> None:
+    """Set (or clear, with None) the process-wide trace cache directory."""
+    global _DEFAULT_TRACE_DIR
+    _DEFAULT_TRACE_DIR = os.fspath(path) if path is not None else None
+
+
 class WorkloadCache:
     """Caches built traces and compiled workloads per setup.
 
     Compiling a workload (L1 filter + predictors) is the expensive,
     L2-policy-independent phase; experiments that sweep policies or tag
     widths share one compile per workload through this cache.
+
+    With a ``trace_dir`` (explicit, or process-wide via
+    :func:`set_default_trace_dir`), built traces are also persisted as
+    ``.npz`` files and reloaded on later runs. A cached file that turns
+    out truncated or corrupt (:class:`~repro.workloads.io.TraceFormatError`)
+    is regenerated and rewritten transparently instead of crashing the
+    sweep; regenerations are recorded in ``trace_recoveries``.
     """
 
-    def __init__(self, setup: Setup):
+    def __init__(
+        self, setup: Setup, trace_dir: Optional[Union[str, os.PathLike]] = None
+    ):
         self.setup = setup
+        self.trace_dir = (
+            os.fspath(trace_dir) if trace_dir is not None else _DEFAULT_TRACE_DIR
+        )
+        self.trace_recoveries: List[str] = []
         self._traces: Dict[str, Trace] = {}
         self._compiled: Dict[str, CompiledWorkload] = {}
 
+    def trace_path(self, name: str) -> Optional[str]:
+        """Disk location of the workload's cached trace, or None."""
+        if self.trace_dir is None:
+            return None
+        filename = f"{name}-{self.setup.name}-{self.setup.accesses}.npz"
+        return os.path.join(self.trace_dir, filename)
+
     def trace(self, name: str) -> Trace:
-        """The workload's trace, built on first use."""
+        """The workload's trace, built (or loaded from disk) on first use."""
         if name not in self._traces:
-            self._traces[name] = build_workload(
-                name, self.setup.l2, accesses=self.setup.accesses
-            )
+            self._traces[name] = self._load_or_build(name)
         return self._traces[name]
+
+    def _load_or_build(self, name: str) -> Trace:
+        path = self.trace_path(name)
+        if path is not None and os.path.exists(path):
+            try:
+                return load_trace(path)
+            except TraceFormatError as exc:
+                # Damaged cache entry: report, regenerate, overwrite.
+                self.trace_recoveries.append(f"{name}: {exc}")
+                print(
+                    f"[trace-cache] regenerating {name}: {exc}",
+                    file=sys.stderr,
+                )
+        trace = build_workload(name, self.setup.l2, accesses=self.setup.accesses)
+        if path is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            save_trace(trace, path)
+        return trace
 
     def compiled(self, name: str) -> CompiledWorkload:
         """The workload's compiled (L1-filtered) form, built on first use."""
@@ -173,14 +225,36 @@ def run_policy_sweep(
     ``policy_specs`` maps a display label to ``simulate_policy`` kwargs,
     e.g. ``{"Adaptive": {"policy_kind": "adaptive"}, "LRU":
     {"policy_kind": "lru"}}``. Returns ``{workload: {label: result}}``.
+
+    When a sweep checkpoint is active (see
+    :func:`repro.experiments.checkpoint.active_checkpoint`), each
+    completed (workload, label) cell is persisted as it finishes and
+    already-recorded cells are restored instead of resimulated — this
+    is what lets an interrupted ``repro-experiments all`` sweep resume
+    from where it died.
     """
+    entry = checkpoint_mod.active()
     results: Dict[str, Dict[str, TimingResult]] = {}
     for name in workloads:
         results[name] = {}
         for label, kwargs in policy_specs.items():
-            results[name][label] = cache.simulate_policy(
+            key = None
+            if entry is not None:
+                ckpt, experiment = entry
+                key = ckpt.cell_key(
+                    "cell", experiment, cache.setup.name,
+                    cache.setup.accesses, name, label,
+                )
+                cached = ckpt.get(key)
+                if cached is not None:
+                    results[name][label] = checkpoint_mod.timing_from_dict(cached)
+                    continue
+            result = cache.simulate_policy(
                 name, processor=processor, l2_config=l2_config, **kwargs
             )
+            results[name][label] = result
+            if key is not None:
+                ckpt.put(key, checkpoint_mod.timing_to_dict(result))
     return results
 
 

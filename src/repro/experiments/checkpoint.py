@@ -1,0 +1,165 @@
+"""JSON checkpoint/resume for experiment sweeps.
+
+A :class:`SweepCheckpoint` is a flat key/value store persisted as JSON
+with an atomic write after every update, so killing a sweep at any
+point (SIGINT, OOM, power loss) leaves a loadable file recording every
+*completed* cell. Keys are slash-joined cell coordinates — e.g.
+``cell/fig3/scaled/60000/lucas/Adaptive`` for one (experiment,
+workload, policy) simulation, or ``done/fig3/scaled`` for a whole
+experiment — and values are JSON data (serialized
+:class:`~repro.cpu.timing.TimingResult` cells, rendered report text).
+
+The module also carries the *active checkpoint context*: the CLI arms a
+checkpoint around each experiment it runs, and shared infrastructure
+(``run_policy_sweep``) transparently skips cells the checkpoint already
+holds. Experiments themselves stay checkpoint-oblivious.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.cpu.timing import TimingResult
+from repro.utils.atomicio import atomic_write_text
+
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be used (corrupt/wrong version)."""
+
+
+class SweepCheckpoint:
+    """Crash-safe store of completed sweep cells.
+
+    Args:
+        path: the JSON file; loaded if it exists, created on first
+            :meth:`put`.
+
+    Raises:
+        CheckpointError: when the existing file is not valid JSON or
+            declares an incompatible version.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = os.fspath(path)
+        self._cells = {}
+        if os.path.exists(self.path):
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError) as exc:
+                raise CheckpointError(
+                    f"checkpoint file {self.path} is unreadable: {exc}"
+                ) from exc
+            version = payload.get("version")
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"checkpoint file {self.path} has version {version!r}; "
+                    f"this build reads {CHECKPOINT_VERSION}"
+                )
+            cells = payload.get("cells")
+            if not isinstance(cells, dict):
+                raise CheckpointError(
+                    f"checkpoint file {self.path} has no 'cells' mapping"
+                )
+            self._cells = cells
+
+    @staticmethod
+    def cell_key(*parts) -> str:
+        """Join cell coordinates into a stable key string."""
+        return "/".join(str(p) for p in parts)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def has(self, key: str) -> bool:
+        """Whether ``key`` records a completed cell."""
+        return key in self._cells
+
+    def get(self, key: str, default=None):
+        """The recorded value for ``key``, or ``default``."""
+        return self._cells.get(key, default)
+
+    def put(self, key: str, value) -> None:
+        """Record a completed cell and persist the file atomically."""
+        self._cells[key] = value
+        self._save()
+
+    def keys(self) -> List[str]:
+        """All recorded cell keys."""
+        return list(self._cells)
+
+    def discard(self, key: str) -> None:
+        """Forget a cell (e.g. to force recomputation); persists."""
+        if key in self._cells:
+            del self._cells[key]
+            self._save()
+
+    def _save(self) -> None:
+        payload = {"version": CHECKPOINT_VERSION, "cells": self._cells}
+        atomic_write_text(self.path, json.dumps(payload, indent=1))
+
+
+# ---------------------------------------------------------------------------
+# Active checkpoint context
+# ---------------------------------------------------------------------------
+
+_ACTIVE: List[Tuple[SweepCheckpoint, str]] = []
+
+
+@contextlib.contextmanager
+def active_checkpoint(
+    checkpoint: Optional[SweepCheckpoint], experiment: str
+) -> Iterator[None]:
+    """Make ``checkpoint`` visible to nested sweep infrastructure.
+
+    ``run_policy_sweep`` consults :func:`active` to cache/skip
+    per-(workload, policy) cells under the given experiment name. A
+    None checkpoint is a no-op, so callers need no special-casing.
+    """
+    if checkpoint is None:
+        yield
+        return
+    _ACTIVE.append((checkpoint, experiment))
+    try:
+        yield
+    finally:
+        _ACTIVE.pop()
+
+
+def active() -> Optional[Tuple[SweepCheckpoint, str]]:
+    """The innermost active (checkpoint, experiment) pair, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+# ---------------------------------------------------------------------------
+# TimingResult cell serialization
+# ---------------------------------------------------------------------------
+
+
+def timing_to_dict(result: TimingResult) -> dict:
+    """JSON-serializable form of one simulation cell."""
+    return {
+        "name": result.name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "l2_accesses": result.l2_accesses,
+        "l2_misses": result.l2_misses,
+        "breakdown": dict(result.breakdown),
+    }
+
+
+def timing_from_dict(payload: dict) -> TimingResult:
+    """Rebuild a :class:`TimingResult` recorded by :func:`timing_to_dict`."""
+    return TimingResult(
+        name=payload["name"],
+        instructions=int(payload["instructions"]),
+        cycles=float(payload["cycles"]),
+        l2_accesses=int(payload["l2_accesses"]),
+        l2_misses=int(payload["l2_misses"]),
+        breakdown={k: float(v) for k, v in payload["breakdown"].items()},
+    )

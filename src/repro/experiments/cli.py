@@ -6,18 +6,32 @@ Examples::
     repro-experiments fig4 --scale paper   # Table 1 geometry (slow)
     repro-experiments all --scale mini     # everything, quickly
     repro-experiments fig7 --render-map    # ASCII Figure 7 maps
+    repro-experiments all --keep-going --resume
+                                           # survive crashes, checkpoint
+                                           # progress, resume after ^C
+
+Robustness (see docs/robustness.md): each experiment runs crash-
+isolated with optional retries (exponential backoff, jittered, capped)
+and a wall-clock timeout; with ``--resume``/``--checkpoint`` the sweep
+records every completed (experiment, workload, policy) cell in an
+atomically-written JSON file and a re-invocation skips finished work.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro.analysis.tables import render_table
 from repro.experiments import base
+from repro.experiments import checkpoint as checkpoint_mod
+from repro.experiments import runner as runner_mod
 from repro.experiments import (
     ablations,
     ext_dip,
+    ext_faults,
     ext_prefetch,
     ext_skew,
     ext_validate,
@@ -58,11 +72,14 @@ EXPERIMENTS = {
     "ext-dip": ext_dip,
     "ext-skew": ext_skew,
     "ext-validate": ext_validate,
+    "ext-faults": ext_faults,
     "seeds": seed_sensitivity,
 }
 
 # Experiments whose run() does not take a Setup.
 _SETUP_FREE = {"storage", "theory"}
+
+DEFAULT_CHECKPOINT = ".repro-checkpoint.json"
 
 
 def _run_result(name: str, args: argparse.Namespace):
@@ -91,8 +108,24 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     return text
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+def _non_negative_int(text: str) -> int:
+    """argparse type for ``--retries``: an integer >= 0."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for ``--timeout``: a number of seconds > 0."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-experiments argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the tables and figures of 'Adaptive "
@@ -133,34 +166,197 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="with fig7: also print the ASCII per-set maps",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="with 'all': keep running after an experiment fails; a "
+        "failure summary is printed and the exit status is non-zero",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="record completed cells in a checkpoint file and skip "
+        f"them on re-invocation (default file: {DEFAULT_CHECKPOINT})",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="checkpoint file to use (implies --resume semantics)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=0,
+        help="retry a crashed experiment up to N times with jittered "
+        "exponential backoff (default: 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock timeout (POSIX main thread only)",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="cache built traces as .npz files in DIR; corrupt or "
+        "truncated entries are detected and regenerated",
+    )
+    return parser
 
-    if args.experiment == "report":
-        from repro.analysis.report import build_report
 
-        results = [
-            _run_result(name, args) for name in sorted(EXPERIMENTS)
-        ]
-        text = build_report(
-            results,
-            title="Adaptive Caches (MICRO 2006) — reproduction report",
-            preamble=[
-                f"Scale: `{args.scale}`"
-                + (f", {args.accesses} references/workload"
-                   if args.accesses else ""),
-                "Regenerate with `repro-experiments report --scale "
-                f"{args.scale}`.",
-            ],
+def _open_checkpoint(
+    args: argparse.Namespace,
+) -> Optional[checkpoint_mod.SweepCheckpoint]:
+    """The sweep checkpoint implied by the flags, or None."""
+    if not (args.resume or args.checkpoint):
+        return None
+    path = args.checkpoint or DEFAULT_CHECKPOINT
+    try:
+        return checkpoint_mod.SweepCheckpoint(path)
+    except checkpoint_mod.CheckpointError as exc:
+        # A damaged checkpoint must not kill the sweep it exists to
+        # protect: set it aside and start a fresh one.
+        quarantine = path + ".corrupt"
+        os.replace(path, quarantine)
+        print(
+            f"[checkpoint] {exc}; moved aside to {quarantine}, "
+            "starting fresh",
+            file=sys.stderr,
         )
-        with open(args.out, "w") as handle:
-            handle.write(text)
-        print(f"wrote {args.out} ({len(text.splitlines())} lines)")
-        return 0
+        return checkpoint_mod.SweepCheckpoint(path)
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(_run_one(name, args))
+
+def _failure_summary(failures: List[runner_mod.CellOutcome]) -> str:
+    """Render the per-experiment failure table for ``all --keep-going``."""
+    rows = [
+        [
+            outcome.name,
+            outcome.attempts,
+            f"{type(outcome.error).__name__}: {outcome.error}",
+        ]
+        for outcome in failures
+    ]
+    return render_table(
+        ["experiment", "attempts", "error"],
+        rows,
+        title=f"{len(failures)} experiment(s) failed",
+    )
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+    from repro.utils.atomicio import atomic_write_text
+
+    results = [_run_result(name, args) for name in sorted(EXPERIMENTS)]
+    text = build_report(
+        results,
+        title="Adaptive Caches (MICRO 2006) — reproduction report",
+        preamble=[
+            f"Scale: `{args.scale}`"
+            + (f", {args.accesses} references/workload"
+               if args.accesses else ""),
+            "Regenerate with `repro-experiments report --scale "
+            f"{args.scale}`.",
+        ],
+    )
+    atomic_write_text(args.out, text)
+    print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.trace_cache:
+        base.set_default_trace_dir(args.trace_cache)
+    try:
+        if args.experiment == "report":
+            return _run_report(args)
+        return _run_experiments(args)
+    finally:
+        if args.trace_cache:
+            base.set_default_trace_dir(None)
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    """Run one experiment or the whole sweep with crash isolation."""
+    names = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    ckpt = _open_checkpoint(args)
+    retry = runner_mod.RetryPolicy(attempts=args.retries + 1)
+    failures: List[runner_mod.CellOutcome] = []
+
+    for index, name in enumerate(names):
+        done_key = checkpoint_mod.SweepCheckpoint.cell_key(
+            "done", name, args.scale
+        )
+        if ckpt is not None:
+            restored = ckpt.get(done_key)
+            if restored is not None:
+                print(f"[checkpoint] {name}: already complete, skipping")
+                print(restored)
+                print()
+                continue
+
+        def compute(name=name):
+            with checkpoint_mod.active_checkpoint(ckpt, experiment=name):
+                return _run_one(name, args)
+
+        try:
+            outcome = runner_mod.run_cell(
+                compute,
+                name=name,
+                retry=retry,
+                timeout=args.timeout,
+                seed=index,
+            )
+        except KeyboardInterrupt:
+            if ckpt is not None:
+                print(
+                    f"\n[checkpoint] interrupted during {name!r}; "
+                    f"{len(ckpt)} completed cell(s) saved in {ckpt.path} — "
+                    "re-run with --resume to continue",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"\ninterrupted during {name!r} (run with --resume to "
+                    "make interruptions recoverable)",
+                    file=sys.stderr,
+                )
+            return 130
+
+        if outcome.failed:
+            if args.experiment == "all" and args.keep_going:
+                print(
+                    f"[failed] {name}: {type(outcome.error).__name__}: "
+                    f"{outcome.error} (after {outcome.attempts} attempt(s))",
+                    file=sys.stderr,
+                )
+                failures.append(outcome)
+                continue
+            print(
+                f"experiment {name!r} failed after {outcome.attempts} "
+                f"attempt(s): {type(outcome.error).__name__}: "
+                f"{outcome.error}",
+                file=sys.stderr,
+            )
+            return 1
+
+        print(outcome.value)
         print()
+        if ckpt is not None:
+            ckpt.put(done_key, outcome.value)
+
+    if failures:
+        print(_failure_summary(failures), file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,56 @@
+"""Atomic file writes (tmp file + ``os.replace``).
+
+Every artifact the harness persists — traces, checkpoints, reports —
+goes through these helpers so that an interrupt (Ctrl-C, OOM kill,
+crash) can never leave a half-written file behind: readers either see
+the previous complete version or the new complete version, never a
+truncated hybrid. ``os.replace`` is atomic on POSIX and Windows when
+source and destination live on the same filesystem, which the helpers
+guarantee by creating the temporary file in the destination directory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator, Union
+
+Pathish = Union[str, os.PathLike]
+
+
+@contextlib.contextmanager
+def atomic_output(path: Pathish, mode: str = "wb") -> Iterator[IO]:
+    """Open a temporary file that atomically replaces ``path`` on success.
+
+    Yields a writable handle (binary by default, ``mode="w"`` for text).
+    On clean exit the data is flushed, fsynced and moved over ``path``
+    with ``os.replace``; on any exception the temporary file is removed
+    and ``path`` is left untouched.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def atomic_write_bytes(path: Pathish, data: bytes) -> None:
+    """Atomically write ``data`` to ``path``."""
+    with atomic_output(path, "wb") as handle:
+        handle.write(data)
+
+
+def atomic_write_text(path: Pathish, text: str, encoding: str = "utf-8") -> None:
+    """Atomically write ``text`` to ``path``."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -35,7 +35,7 @@ from repro.workloads.suite import (
     build_workload,
     workload_names,
 )
-from repro.workloads.io import load_trace, save_trace
+from repro.workloads.io import TraceFormatError, load_trace, save_trace
 from repro.workloads.characterize import (
     TraceProfile,
     characterize,
@@ -67,6 +67,7 @@ __all__ = [
     "WorkloadSpec",
     "build_workload",
     "workload_names",
+    "TraceFormatError",
     "load_trace",
     "save_trace",
     "TraceProfile",

@@ -1,5 +1,7 @@
 """Unit tests for the shared experiment infrastructure."""
 
+import os
+
 import pytest
 
 from repro.core.adaptive import AdaptivePolicy
@@ -10,6 +12,7 @@ from repro.experiments.base import (
     build_l2_policy,
     make_setup,
     run_policy_sweep,
+    set_default_trace_dir,
 )
 from repro.policies.lru import LRUPolicy
 
@@ -98,6 +101,53 @@ class TestWorkloadCache:
         )
         assert set(sweep) == {"lucas", "art-1"}
         assert set(sweep["lucas"]) == {"LRU", "LFU"}
+
+
+class TestTraceDiskCache:
+    def test_disabled_without_trace_dir(self):
+        cache = WorkloadCache(make_setup("mini", accesses=1000))
+        assert cache.trace_path("lucas") is None
+
+    def test_builds_then_reloads(self, tmp_path):
+        setup = make_setup("mini", accesses=1000)
+        first = WorkloadCache(setup, trace_dir=tmp_path)
+        trace = first.trace("lucas")
+        path = first.trace_path("lucas")
+        assert os.path.exists(path)
+
+        second = WorkloadCache(setup, trace_dir=tmp_path)
+        reloaded = second.trace("lucas")
+        assert reloaded.records == trace.records
+        assert second.trace_recoveries == []
+
+    def test_corrupt_entry_regenerated_and_reported(self, tmp_path):
+        setup = make_setup("mini", accesses=1000)
+        first = WorkloadCache(setup, trace_dir=tmp_path)
+        trace = first.trace("lucas")
+        path = first.trace_path("lucas")
+        # Truncate the cached file as a crashed writer would have.
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 3])
+
+        second = WorkloadCache(setup, trace_dir=tmp_path)
+        regenerated = second.trace("lucas")
+        assert regenerated.records == trace.records
+        assert len(second.trace_recoveries) == 1
+        assert "lucas" in second.trace_recoveries[0]
+        # The rewritten file is healthy again.
+        third = WorkloadCache(setup, trace_dir=tmp_path)
+        assert third.trace("lucas").records == trace.records
+        assert third.trace_recoveries == []
+
+    def test_default_trace_dir_is_process_wide(self, tmp_path):
+        set_default_trace_dir(tmp_path)
+        try:
+            cache = WorkloadCache(make_setup("mini", accesses=1000))
+            assert cache.trace_path("lucas").startswith(str(tmp_path))
+        finally:
+            set_default_trace_dir(None)
+        assert WorkloadCache(make_setup("mini")).trace_path("lucas") is None
 
 
 class TestExperimentResult:

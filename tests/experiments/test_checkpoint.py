@@ -1,0 +1,158 @@
+"""Unit tests for sweep checkpointing and resume."""
+
+import json
+import os
+
+import pytest
+
+from repro.cpu.timing import TimingResult
+from repro.experiments import base
+from repro.experiments.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    SweepCheckpoint,
+    active,
+    active_checkpoint,
+    timing_from_dict,
+    timing_to_dict,
+)
+
+
+class TestSweepCheckpoint:
+    def test_put_get_roundtrip(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "ck.json")
+        assert len(ckpt) == 0
+        ckpt.put("cell/a/b", {"misses": 3})
+        assert ckpt.has("cell/a/b")
+        assert ckpt.get("cell/a/b") == {"misses": 3}
+        assert ckpt.get("missing") is None
+        assert ckpt.keys() == ["cell/a/b"]
+
+    def test_persists_after_every_put(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.put("one", 1)
+        ckpt.put("two", 2)
+        # A fresh load (as after a crash) sees everything written so far.
+        reloaded = SweepCheckpoint(path)
+        assert len(reloaded) == 2
+        assert reloaded.get("two") == 2
+
+    def test_discard_persists(self, tmp_path):
+        path = tmp_path / "ck.json"
+        ckpt = SweepCheckpoint(path)
+        ckpt.put("one", 1)
+        ckpt.discard("one")
+        ckpt.discard("never-there")
+        assert not SweepCheckpoint(path).has("one")
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            SweepCheckpoint(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(
+            json.dumps({"version": CHECKPOINT_VERSION + 1, "cells": {}})
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            SweepCheckpoint(path)
+
+    def test_missing_cells_mapping_raises(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(json.dumps({"version": CHECKPOINT_VERSION}))
+        with pytest.raises(CheckpointError, match="cells"):
+            SweepCheckpoint(path)
+
+    def test_cell_key_joins_parts(self):
+        key = SweepCheckpoint.cell_key("cell", "fig3", "mini", 5000, "lucas")
+        assert key == "cell/fig3/mini/5000/lucas"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "ck.json")
+        ckpt.put("a", 1)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ck.json"]
+
+
+class TestActiveCheckpoint:
+    def test_none_is_noop(self):
+        with active_checkpoint(None, experiment="fig3"):
+            assert active() is None
+
+    def test_stack_nesting(self, tmp_path):
+        outer = SweepCheckpoint(tmp_path / "outer.json")
+        inner = SweepCheckpoint(tmp_path / "inner.json")
+        assert active() is None
+        with active_checkpoint(outer, experiment="fig3"):
+            assert active() == (outer, "fig3")
+            with active_checkpoint(inner, experiment="fig4"):
+                assert active() == (inner, "fig4")
+            assert active() == (outer, "fig3")
+        assert active() is None
+
+    def test_popped_on_exception(self, tmp_path):
+        ckpt = SweepCheckpoint(tmp_path / "ck.json")
+        with pytest.raises(ValueError):
+            with active_checkpoint(ckpt, experiment="fig3"):
+                raise ValueError("boom")
+        assert active() is None
+
+
+class TestTimingSerialization:
+    def test_roundtrip(self):
+        result = TimingResult(
+            name="lucas", instructions=1000, cycles=2500.0,
+            l2_accesses=80, l2_misses=13,
+            breakdown={"l2_hit": 1.5, "memory": 3.25},
+        )
+        rebuilt = timing_from_dict(timing_to_dict(result))
+        assert rebuilt == result
+        assert rebuilt.mpki == result.mpki
+
+    def test_json_safe(self):
+        result = TimingResult(
+            name="x", instructions=1, cycles=1.0,
+            l2_accesses=1, l2_misses=0, breakdown={},
+        )
+        json.dumps(timing_to_dict(result))
+
+
+class TestSweepUsesCheckpoint:
+    def test_run_policy_sweep_skips_recorded_cells(self, tmp_path, monkeypatch):
+        setup = base.make_setup("mini", accesses=2000)
+        cache = base.WorkloadCache(setup)
+        specs = {"LRU": {"policy_kind": "lru"}, "LFU": {"policy_kind": "lfu"}}
+        ckpt = SweepCheckpoint(tmp_path / "ck.json")
+
+        calls = []
+        real = base.WorkloadCache.simulate_policy
+
+        def counting(self, name, *args, **kwargs):
+            calls.append(name)
+            return real(self, name, *args, **kwargs)
+
+        monkeypatch.setattr(base.WorkloadCache, "simulate_policy", counting)
+
+        with active_checkpoint(ckpt, experiment="test-sweep"):
+            first = base.run_policy_sweep(cache, ["lucas"], specs)
+        assert len(calls) == 2
+        assert len(ckpt) == 2
+
+        # A second sweep (fresh process after a crash, simulated by a
+        # reloaded checkpoint) restores every cell without simulating.
+        reloaded = SweepCheckpoint(tmp_path / "ck.json")
+        with active_checkpoint(reloaded, experiment="test-sweep"):
+            second = base.run_policy_sweep(cache, ["lucas"], specs)
+        assert len(calls) == 2
+        assert second["lucas"]["LRU"] == first["lucas"]["LRU"]
+        assert second["lucas"]["LFU"] == first["lucas"]["LFU"]
+
+    def test_sweep_without_checkpoint_simulates(self):
+        setup = base.make_setup("mini", accesses=1000)
+        cache = base.WorkloadCache(setup)
+        results = base.run_policy_sweep(
+            cache, ["lucas"], {"LRU": {"policy_kind": "lru"}}
+        )
+        assert results["lucas"]["LRU"].l2_accesses > 0

@@ -1,7 +1,10 @@
 """Unit tests for the repro-experiments CLI."""
 
+import json
+
 import pytest
 
+from repro.experiments import cli
 from repro.experiments.cli import EXPERIMENTS, main
 
 
@@ -10,7 +13,8 @@ class TestCli:
         expected = {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "sec44", "sec46", "sec47", "storage", "theory",
-            "ablations", "ext-shared", "ext-prefetch", "ext-dip", "ext-skew", "ext-validate", "seeds",
+            "ablations", "ext-shared", "ext-prefetch", "ext-dip", "ext-skew",
+            "ext-validate", "ext-faults", "seeds",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -45,3 +49,155 @@ class TestCli:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig3", "--scale", "huge"])
+
+    def test_negative_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--retries", "-1"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_non_positive_timeout_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--timeout", "-5"])
+        assert "must be > 0" in capsys.readouterr().err
+
+
+class _StubResult:
+    """Minimal experiment result: just renders fixed text."""
+
+    def __init__(self, text):
+        self.text = text
+
+    def render(self):
+        return self.text
+
+
+class _StubExperiment:
+    """A scripted experiment module: fails N times, then succeeds."""
+
+    def __init__(self, name, failures=0, interrupts=0):
+        self.name = name
+        self.failures = failures
+        self.interrupts = interrupts
+        self.calls = 0
+
+    def run(self, setup=None, **kwargs):
+        self.calls += 1
+        if self.interrupts > 0:
+            self.interrupts -= 1
+            raise KeyboardInterrupt
+        if self.failures > 0:
+            self.failures -= 1
+            raise RuntimeError(f"{self.name} exploded")
+        return _StubResult(f"{self.name} results")
+
+
+@pytest.fixture
+def stub_experiments(monkeypatch):
+    """Replace the registry with three cheap scripted experiments."""
+
+    def install(**stubs):
+        monkeypatch.setattr(cli, "EXPERIMENTS", dict(stubs))
+        return stubs
+
+    return install
+
+
+class TestKeepGoing:
+    def test_failure_stops_sweep_by_default(self, stub_experiments, capsys):
+        stubs = stub_experiments(
+            aaa=_StubExperiment("aaa"),
+            bbb=_StubExperiment("bbb", failures=99),
+            ccc=_StubExperiment("ccc"),
+        )
+        assert main(["all", "--scale", "mini"]) == 1
+        captured = capsys.readouterr()
+        assert "bbb exploded" in captured.err
+        # The sweep stopped at the failure: ccc never ran.
+        assert stubs["ccc"].calls == 0
+
+    def test_keep_going_collects_failures(self, stub_experiments, capsys):
+        stubs = stub_experiments(
+            aaa=_StubExperiment("aaa"),
+            bbb=_StubExperiment("bbb", failures=99),
+            ccc=_StubExperiment("ccc"),
+        )
+        assert main(["all", "--scale", "mini", "--keep-going"]) == 1
+        captured = capsys.readouterr()
+        # Healthy experiments still ran and printed.
+        assert stubs["ccc"].calls == 1
+        assert "aaa results" in captured.out
+        assert "ccc results" in captured.out
+        # The per-experiment failure summary names the casualty.
+        assert "1 experiment(s) failed" in captured.err
+        assert "RuntimeError: bbb exploded" in captured.err
+
+    def test_retries_recover_transient_failures(
+        self, stub_experiments, capsys
+    ):
+        stub_experiments(aaa=_StubExperiment("aaa", failures=1))
+        assert main(["aaa", "--scale", "mini", "--retries", "1"]) == 0
+        assert "aaa results" in capsys.readouterr().out
+
+
+class TestResume:
+    def test_interrupt_then_resume_skips_completed(
+        self, stub_experiments, capsys, tmp_path
+    ):
+        ckpt_path = str(tmp_path / "ck.json")
+        stubs = stub_experiments(
+            aaa=_StubExperiment("aaa"),
+            bbb=_StubExperiment("bbb", interrupts=1),
+        )
+        # First run: aaa completes, then ^C lands during bbb.
+        code = main(["all", "--scale", "mini", "--checkpoint", ckpt_path])
+        assert code == 130
+        captured = capsys.readouterr()
+        assert "--resume" in captured.err
+        assert stubs["aaa"].calls == 1
+
+        # Resumed run: aaa is restored from the checkpoint, not rerun.
+        code = main(["all", "--scale", "mini", "--checkpoint", ckpt_path])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert stubs["aaa"].calls == 1
+        assert stubs["bbb"].calls == 2
+        assert "already complete" in captured.out
+        assert "aaa results" in captured.out
+        assert "bbb results" in captured.out
+
+    def test_checkpoint_records_done_cells(
+        self, stub_experiments, capsys, tmp_path
+    ):
+        ckpt_path = tmp_path / "ck.json"
+        stub_experiments(aaa=_StubExperiment("aaa"))
+        assert main(["aaa", "--scale", "mini",
+                     "--checkpoint", str(ckpt_path)]) == 0
+        payload = json.loads(ckpt_path.read_text())
+        assert payload["cells"]["done/aaa/mini"] == "aaa results"
+
+    def test_corrupt_checkpoint_quarantined(
+        self, stub_experiments, capsys, tmp_path
+    ):
+        ckpt_path = tmp_path / "ck.json"
+        ckpt_path.write_text("{ definitely not json")
+        stub_experiments(aaa=_StubExperiment("aaa"))
+        assert main(["aaa", "--scale", "mini",
+                     "--checkpoint", str(ckpt_path)]) == 0
+        captured = capsys.readouterr()
+        assert "starting fresh" in captured.err
+        assert (tmp_path / "ck.json.corrupt").exists()
+        # The fresh checkpoint recorded this run.
+        assert "cells" in json.loads(ckpt_path.read_text())
+
+    def test_failed_experiment_not_marked_done(
+        self, stub_experiments, capsys, tmp_path
+    ):
+        ckpt_path = tmp_path / "ck.json"
+        stub_experiments(bbb=_StubExperiment("bbb", failures=99))
+        assert main(["bbb", "--scale", "mini",
+                     "--checkpoint", str(ckpt_path)]) == 1
+        stubs2 = stub_experiments(bbb=_StubExperiment("bbb"))
+        assert main(["bbb", "--scale", "mini",
+                     "--checkpoint", str(ckpt_path)]) == 0
+        # The failure was not checkpointed, so the retry really ran.
+        assert stubs2["bbb"].calls == 1

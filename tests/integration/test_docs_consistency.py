@@ -16,6 +16,7 @@ class TestDocsExist:
             "api.md",
             "extending-policies.md",
             "reproducing.md",
+            "robustness.md",
             "theory.md",
             "timing-model.md",
             "workloads.md",
@@ -54,6 +55,9 @@ class TestDocsReferenceRealCode:
         import repro.core
         import repro.cpu
         import repro.experiments
+        import repro.experiments.checkpoint
+        import repro.experiments.runner
+        import repro.faults
         import repro.policies
         import repro.prefetch
         import repro.workloads
@@ -64,7 +68,8 @@ class TestDocsReferenceRealCode:
         namespaces = [
             repro, repro.cache, repro.core, repro.cpu, repro.policies,
             repro.workloads, repro.analysis, repro.prefetch,
-            repro.experiments,
+            repro.experiments, repro.experiments.runner,
+            repro.experiments.checkpoint, repro.faults,
         ]
         for symbol in symbols:
             assert any(hasattr(ns, symbol) for ns in namespaces), symbol

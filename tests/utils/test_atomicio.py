@@ -1,0 +1,63 @@
+"""Unit tests for atomic file writes."""
+
+import os
+
+import pytest
+
+from repro.utils.atomicio import (
+    atomic_output,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+
+class TestAtomicOutput:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with atomic_output(path) as handle:
+            handle.write(b"hello")
+        assert path.read_bytes() == b"hello"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_failure_leaves_old_contents(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"original")
+        with pytest.raises(RuntimeError):
+            with atomic_output(path) as handle:
+                handle.write(b"partial new data")
+                raise RuntimeError("writer died mid-stream")
+        assert path.read_bytes() == b"original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+    def test_failure_without_existing_file_leaves_nothing(self, tmp_path):
+        path = tmp_path / "out.bin"
+        with pytest.raises(RuntimeError):
+            with atomic_output(path) as handle:
+                handle.write(b"doomed")
+                raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_text_mode(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_output(path, "w") as handle:
+            handle.write("text content")
+        assert path.read_text() == "text content"
+
+
+class TestConvenienceWrappers:
+    def test_write_bytes(self, tmp_path):
+        path = tmp_path / "b.bin"
+        atomic_write_bytes(path, b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_write_text(self, tmp_path):
+        path = tmp_path / "t.txt"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+        assert [p.name for p in tmp_path.iterdir()] == ["t.txt"]
+
+    def test_accepts_str_paths(self, tmp_path):
+        path = os.path.join(str(tmp_path), "s.txt")
+        atomic_write_text(path, "str path")
+        assert open(path).read() == "str path"

@@ -4,9 +4,14 @@ import numpy as np
 import pytest
 
 from repro.cache.config import CacheConfig
-from repro.workloads.io import FORMAT_VERSION, load_trace, save_trace
+from repro.workloads.io import (
+    FORMAT_VERSION,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
 from repro.workloads.suite import build_workload
-from repro.workloads.trace import KIND_LOAD, Trace
+from repro.workloads.trace import KIND_BRANCH_NOT_TAKEN, KIND_LOAD, Trace
 
 
 class TestRoundTrip:
@@ -67,3 +72,101 @@ class TestVersioning:
         )
         with pytest.raises(ValueError, match="ragged"):
             load_trace(path)
+
+
+def _valid_npz(path, **overrides):
+    """Write a minimal valid trace archive, with optional bad fields."""
+    fields = dict(
+        version=np.int64(FORMAT_VERSION),
+        name=np.str_("x"),
+        kinds=np.zeros(2, dtype=np.int8),
+        addresses=np.zeros(2, dtype=np.int64),
+        gaps=np.zeros(2, dtype=np.int32),
+    )
+    fields.update(overrides)
+    np.savez_compressed(path, **{k: v for k, v in fields.items()
+                                 if v is not None})
+
+
+class TestCorruptionDetection:
+    """Every damaged-file shape raises a typed TraceFormatError."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_trace(tmp_path / "never-written.npz")
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_trace(path)
+
+    def test_truncated_archive(self, tmp_path):
+        config = CacheConfig(size_bytes=8 * 1024, ways=8, line_bytes=64)
+        trace = build_workload("ammp", config, accesses=3000)
+        path = tmp_path / "ammp.npz"
+        save_trace(trace, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_missing_field_named_in_message(self, tmp_path):
+        path = tmp_path / "short.npz"
+        _valid_npz(path, gaps=None)
+        with pytest.raises(TraceFormatError, match="gaps"):
+            load_trace(path)
+
+    def test_float_dtype_rejected(self, tmp_path):
+        path = tmp_path / "floaty.npz"
+        _valid_npz(path, addresses=np.zeros(2, dtype=np.float64))
+        with pytest.raises(TraceFormatError, match="dtype"):
+            load_trace(path)
+
+    def test_wrong_dimensionality_rejected(self, tmp_path):
+        path = tmp_path / "square.npz"
+        _valid_npz(path, kinds=np.zeros((2, 2), dtype=np.int8))
+        with pytest.raises(TraceFormatError, match="1-D"):
+            load_trace(path)
+
+    def test_out_of_range_kind_rejected(self, tmp_path):
+        path = tmp_path / "weird-kind.npz"
+        _valid_npz(
+            path,
+            kinds=np.array([KIND_LOAD, KIND_BRANCH_NOT_TAKEN + 1],
+                           dtype=np.int8),
+        )
+        with pytest.raises(TraceFormatError, match="kinds"):
+            load_trace(path)
+
+    def test_error_is_a_value_error(self, tmp_path):
+        # Callers of the pre-hardening API caught ValueError; the typed
+        # error must remain compatible with them.
+        assert issubclass(TraceFormatError, ValueError)
+
+
+class TestAtomicSave:
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        save_trace(Trace("t", [(KIND_LOAD, 64, 0)]), tmp_path / "t.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["t.npz"]
+
+    def test_failed_save_leaves_no_file(self, tmp_path):
+        class Hostile:
+            """Raises while numpy serializes the records."""
+            name = "hostile"
+            records = [(KIND_LOAD, "not-an-int", 0)]
+
+            def __len__(self):
+                return 1
+
+        with pytest.raises(Exception):
+            save_trace(Hostile(), tmp_path / "t.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_overwrite_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(Trace("first", [(KIND_LOAD, 64, 0)] * 100), path)
+        save_trace(Trace("second", [(KIND_LOAD, 128, 1)]), path)
+        loaded = load_trace(path)
+        assert loaded.name == "second"
+        assert len(loaded.records) == 1
