@@ -1,0 +1,40 @@
+"""Bench: online KV engine hit rate and throughput (ext_online).
+
+Claim under test: the sharded adaptive engine matches or beats the
+better fixed policy's hit rate on every key-stream regime — including
+the phase-change workload where LRU and LFU each have a losing phase —
+while sustaining serving-path throughput (ops/sec through the locked
+get-miss-fill path).
+"""
+
+from repro.experiments import ext_online
+
+from conftest import run_and_report
+
+WORKLOADS = ("zipf", "scan-hot", ext_online.PHASE_WORKLOAD)
+
+
+def test_ext_online(benchmark, bench_setup):
+    def runner():
+        return ext_online.run(setup=bench_setup, workloads=WORKLOADS)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "phase_adaptive_minus_best_fixed_pct":
+                ext_online.adaptive_vs_best_fixed(r),
+            "phase_adaptive_ops_per_sec": next(
+                row[5] for row in r.rows
+                if row[0] == ext_online.PHASE_WORKLOAD
+                and row[1] == "adaptive"
+            ),
+        },
+    )
+    # The acceptance condition: on the phase-change Zipf workload the
+    # adaptive engine matches or beats the better fixed policy.
+    assert ext_online.adaptive_vs_best_fixed(result) >= -0.5
+    for row in result.rows:
+        hits, misses = row[2], row[3]
+        assert hits + misses > 0
+        assert row[5] > 0  # ops/sec

@@ -7,6 +7,9 @@
 * :func:`make_adaptive` / :func:`five_policy_adaptive` — convenience
   constructors (Section 4.4's design-space exploration).
 * :class:`SbarPolicy` — the set-sampling variant of Section 4.7.
+* :class:`PolicySelector` / :class:`GlobalSelector` — the adaptation
+  decisions themselves, decoupled from set indexing so the online
+  key-value engine (:mod:`repro.online`) can reuse them per shard.
 * :mod:`repro.core.theory` — empirical checks of the Appendix's 2x bound.
 """
 
@@ -21,6 +24,7 @@ from repro.core.history import (
 from repro.core.adaptive import AdaptivePolicy
 from repro.core.multi import make_adaptive, five_policy_adaptive
 from repro.core.sbar import SbarPolicy
+from repro.core.selector import GlobalSelector, PolicySelector
 from repro.core.theory import BoundReport, check_miss_bound, adversarial_trace
 
 __all__ = [
@@ -35,6 +39,8 @@ __all__ = [
     "make_adaptive",
     "five_policy_adaptive",
     "SbarPolicy",
+    "PolicySelector",
+    "GlobalSelector",
     "BoundReport",
     "check_miss_bound",
     "adversarial_trace",

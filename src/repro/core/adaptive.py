@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.cache.tag_array import ShadowOutcome, TagArray, identity_tag
 from repro.core.history import BitVectorHistory, MissHistory
+from repro.core.selector import PolicySelector
 from repro.policies.base import ReplacementPolicy, SetView
 from repro.utils.rng import DeterministicRNG
 
@@ -56,6 +57,10 @@ class AdaptivePolicy(ReplacementPolicy):
             component" search — ``"lru"`` (default; the paper suggests
             keeping a recency order, Section 3.3) or ``"random"``.
         seed: RNG seed for the random fallback.
+        vote_sink: optional callable receiving each access's
+            per-component miss vector; lets sampled leader units feed a
+            shared :class:`~repro.core.selector.GlobalSelector` (used by
+            the online engine's SBAR-style mode).
     """
 
     name = "adaptive"
@@ -69,6 +74,7 @@ class AdaptivePolicy(ReplacementPolicy):
         history_factory: Optional[Callable[[int], MissHistory]] = None,
         fallback: str = "lru",
         seed: int = 0,
+        vote_sink: Optional[Callable[[List[bool]], None]] = None,
     ):
         super().__init__(num_sets, ways)
         if len(components) < 2:
@@ -91,9 +97,11 @@ class AdaptivePolicy(ReplacementPolicy):
 
         if history_factory is None:
             history_factory = lambda n: BitVectorHistory(n, window=ways)
-        self.histories: List[MissHistory] = [
-            history_factory(len(self.components)) for _ in range(num_sets)
+        self.selectors: List[PolicySelector] = [
+            PolicySelector(history_factory(len(self.components)))
+            for _ in range(num_sets)
         ]
+        self.vote_sink = vote_sink
         self.shadows = [
             TagArray(num_sets, ways, component, tag_transform)
             for component in self.components
@@ -118,12 +126,20 @@ class AdaptivePolicy(ReplacementPolicy):
     # ReplacementPolicy events
     # ------------------------------------------------------------------
 
+    @property
+    def histories(self) -> List[MissHistory]:
+        """Per-set miss-history buffers (fault-injection surface)."""
+        return [selector.history for selector in self.selectors]
+
     def observe(self, set_index: int, tag: int, is_write: bool) -> None:
         outcomes = [
             shadow.lookup_update(set_index, tag, is_write)
             for shadow in self.shadows
         ]
-        self.histories[set_index].record([o.missed for o in outcomes])
+        missed = [o.missed for o in outcomes]
+        self.selectors[set_index].record(missed)
+        if self.vote_sink is not None:
+            self.vote_sink(missed)
         self._last_outcomes = outcomes
         self._last_set = set_index
         if self.fault_injector is not None:
@@ -146,7 +162,7 @@ class AdaptivePolicy(ReplacementPolicy):
                 f"{set_index}; the adaptive policy must be driven by a "
                 "SetAssociativeCache"
             )
-        chosen = self.histories[set_index].best_component()
+        chosen = self.selectors[set_index].best_component()
         self._decisions[set_index][chosen] += 1
         outcome = self._last_outcomes[chosen]
         shadow = self.shadows[chosen]
@@ -208,6 +224,10 @@ class AdaptivePolicy(ReplacementPolicy):
         """Total shadow misses per component (what each policy alone
         would have suffered — up to partial-tag optimism)."""
         return [shadow.misses for shadow in self.shadows]
+
+    def selector_switches(self) -> int:
+        """Total imitation-target changes across all per-set selectors."""
+        return sum(selector.switches for selector in self.selectors)
 
     def drain_decisions(self) -> List[List[int]]:
         """Per-set imitation decision counts since the previous drain.

@@ -25,8 +25,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.cache.tag_array import ShadowOutcome, TagArray, identity_tag
 from repro.core.history import BitVectorHistory, MissHistory
+from repro.core.selector import GlobalSelector
 from repro.policies.base import ReplacementPolicy, SetView
-from repro.utils.bitops import mask
 
 
 def spread_leader_sets(num_sets: int, num_leaders: int) -> List[int]:
@@ -99,11 +99,7 @@ class SbarPolicy(ReplacementPolicy):
             history_factory = lambda n: BitVectorHistory(n, window=ways)
         self.histories = [history_factory(2) for _ in range(num_leaders)]
 
-        if psel_bits <= 1:
-            raise ValueError(f"psel_bits must be > 1, got {psel_bits}")
-        self._psel_max = mask(psel_bits)
-        self._psel = (self._psel_max + 1) // 2
-        self._psel_mid = self._psel
+        self.selector = GlobalSelector(psel_bits)
 
         self._last_outcomes: List[ShadowOutcome] = []
         self._last_set = -1
@@ -124,12 +120,17 @@ class SbarPolicy(ReplacementPolicy):
 
     def selected_component(self) -> int:
         """Component the global selector currently favours."""
-        return 1 if self._psel > self._psel_mid else 0
+        return self.selector.selected()
 
     @property
     def selector_max(self) -> int:
         """Largest value the PSEL selector can hold."""
-        return self._psel_max
+        return self.selector.max_value
+
+    @property
+    def _psel(self) -> int:
+        """Current PSEL counter value (kept for tests/introspection)."""
+        return self.selector.value
 
     def set_selector(self, value: int) -> None:
         """Clamp-write the PSEL counter (fault-injection hook).
@@ -138,7 +139,7 @@ class SbarPolicy(ReplacementPolicy):
         changes which component the follower sets imitate until real
         decisive misses re-train it, so corrupting it is always safe.
         """
-        self._psel = max(0, min(self._psel_max, value))
+        self.selector.set_value(value)
 
     # ------------------------------------------------------------------
     # ReplacementPolicy events
@@ -156,12 +157,8 @@ class SbarPolicy(ReplacementPolicy):
             ]
             missed = [o.missed for o in outcomes]
             self.histories[slot].record(missed)
-            if missed[0] != missed[1]:
-                # A decisive miss is evidence against the missing component.
-                if missed[0] and self._psel < self._psel_max:
-                    self._psel += 1
-                elif missed[1] and self._psel > 0:
-                    self._psel -= 1
+            # A decisive miss is evidence against the missing component.
+            self.selector.vote(missed)
             self._last_outcomes = outcomes
         if self.fault_injector is not None:
             self.fault_injector.tick()

@@ -32,6 +32,7 @@ from repro.experiments import (
     ablations,
     ext_dip,
     ext_faults,
+    ext_online,
     ext_prefetch,
     ext_skew,
     ext_validate,
@@ -73,6 +74,7 @@ EXPERIMENTS = {
     "ext-skew": ext_skew,
     "ext-validate": ext_validate,
     "ext-faults": ext_faults,
+    "ext-online": ext_online,
     "seeds": seed_sensitivity,
 }
 
@@ -88,7 +90,10 @@ def _run_result(name: str, args: argparse.Namespace):
         return module.run()
     setup = base.make_setup(args.scale, accesses=args.accesses)
     kwargs = {}
-    if args.workloads and name not in ("fig7", "ext-shared", "ext-skew"):
+    # ext-online takes key-stream names, not suite workload names, so the
+    # suite-wide --workloads restriction does not apply to it either.
+    if args.workloads and name not in ("fig7", "ext-shared", "ext-skew",
+                                       "ext-online"):
         kwargs["workloads"] = args.workloads
     return module.run(setup=setup, **kwargs)
 
@@ -134,9 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        choices=sorted(EXPERIMENTS) + ["all", "report", "policies"],
         help="which table/figure to regenerate ('report' writes a "
-        "markdown report of everything)",
+        "markdown report of everything; 'policies' lists the "
+        "registered replacement policies)",
     )
     parser.add_argument(
         "--out",
@@ -247,6 +253,23 @@ def _failure_summary(failures: List[runner_mod.CellOutcome]) -> str:
     )
 
 
+def _run_policies() -> int:
+    """Print the registered policies and the composite kinds."""
+    from repro.policies.registry import policy_summaries
+
+    rows = [list(row) for row in policy_summaries()]
+    print(render_table(["name", "class", "summary"], rows,
+                       title="registered replacement policies"))
+    print(
+        "\nComposite kinds (built on the above): 'adaptive' "
+        "(Algorithm 1 over any two components), 'adaptive5' "
+        "(five-component variant), 'sbar' (leader sets + global "
+        "selector). The online engine (ext-online) accepts any "
+        "registered name plus 'adaptive' and 'sampled'."
+    )
+    return 0
+
+
 def _run_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
     from repro.utils.atomicio import atomic_write_text
@@ -275,6 +298,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.trace_cache:
         base.set_default_trace_dir(args.trace_cache)
     try:
+        if args.experiment == "policies":
+            return _run_policies()
         if args.experiment == "report":
             return _run_report(args)
         return _run_experiments(args)

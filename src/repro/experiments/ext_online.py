@@ -1,0 +1,223 @@
+"""Extension experiment: the online KV engine vs fixed policies.
+
+Replays key-stream workloads (Zipf skew, hot-set + scan, LRU-hostile
+loops, phase changes, and a bridged simulator trace) through the online
+engine in each of its modes — per-shard adaptive, SBAR-style sampled,
+and fixed policies — plus :func:`functools.lru_cache` as the standard-
+library baseline, reporting hit rate and throughput (ops/sec). This is
+the serving-shaped analogue of the paper's Figure 3 sweep: the claim
+under test is that per-shard adaptation tracks the better component on
+every regime, including the phase-change workload where each fixed
+policy has a losing phase.
+
+Hit counts are deterministic (fingerprints and generators are seeded);
+throughput naturally varies run to run. With an active sweep
+checkpoint, each completed (workload, engine) cell is persisted and
+restored on resume.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import checkpoint as checkpoint_mod
+from repro.experiments.base import ExperimentResult, Setup, make_setup
+from repro.online.engine import AdaptiveKVCache
+from repro.workloads.keystreams import (
+    keys_from_trace,
+    loop_keys,
+    phase_change_keys,
+    scan_keys,
+    zipf_keys,
+)
+from repro.workloads.suite import build_workload
+
+#: Engine specs compared by the experiment. ``lru_cache`` is the
+#: standard library's memoizer, everything else an AdaptiveKVCache mode.
+DEFAULT_ENGINES = ("adaptive", "sampled", "lru", "lfu", "fifo", "lru_cache")
+
+#: The phase-change workload the acceptance check runs on.
+PHASE_WORKLOAD = "phase-zipf"
+
+DEFAULT_WORKLOADS = ("zipf", "scan-hot", "loop", PHASE_WORKLOAD, "trace-ammp")
+
+#: Fixed policies the adaptive modes are judged against.
+FIXED_BASELINES = ("lru", "lfu", "fifo")
+
+NUM_SHARDS = 8
+
+
+def build_key_stream(
+    name: str, capacity: int, setup: Setup, seed: int = 0
+) -> List[str]:
+    """The named key-stream workload, sized relative to ``capacity``.
+
+    Args:
+        name: one of :data:`DEFAULT_WORKLOADS`.
+        capacity: engine entry capacity the stream is scaled against.
+        setup: experiment scale (trace length; geometry for the
+            ``trace-*`` bridge workloads).
+        seed: generator seed.
+    """
+    accesses = setup.accesses
+    if name == "zipf":
+        return zipf_keys(4 * capacity, accesses, seed=seed)
+    if name == "scan-hot":
+        return scan_keys(
+            capacity // 2, 8 * capacity, accesses,
+            hot_fraction=0.6, seed=seed,
+        )
+    if name == "loop":
+        return loop_keys(capacity + capacity // 4, accesses)
+    if name == PHASE_WORKLOAD:
+        return phase_change_keys(
+            2 * capacity, capacity + capacity // 4, accesses,
+            phases=6, seed=seed,
+        )
+    if name.startswith("trace-"):
+        trace = build_workload(
+            name[len("trace-"):], setup.l2, accesses=accesses
+        )
+        return keys_from_trace(trace)
+    raise ValueError(f"unknown key-stream workload {name!r}")
+
+
+def replay(engine: str, keys: Sequence[str], capacity: int,
+           seed: int = 0) -> Dict[str, float]:
+    """Replay ``keys`` through one engine; returns the metrics cell.
+
+    Every access is a ``get_or_compute`` with a trivial loader, so hit
+    counts measure retention quality and ops/sec measures the engine's
+    full locked get-miss-fill path.
+    """
+    start = time.perf_counter()
+    if engine == "lru_cache":
+        loader = lru_cache(maxsize=capacity)(lambda key: key)
+        for key in keys:
+            loader(key)
+        info = loader.cache_info()
+        hits, misses, switches = info.hits, info.misses, 0
+    else:
+        cache = AdaptiveKVCache(
+            capacity_entries=capacity,
+            num_shards=NUM_SHARDS,
+            policy=engine,
+            seed=seed,
+        )
+        for key in keys:
+            cache.get_or_compute(key, lambda k: k)
+        stats = cache.stats()
+        if stats.hits + stats.misses != stats.gets != len(keys):
+            raise RuntimeError(
+                f"inconsistent stats from {engine}: {stats.hits} hits + "
+                f"{stats.misses} misses != {stats.gets} gets"
+            )
+        hits, misses, switches = stats.hits, stats.misses, stats.policy_switches
+    elapsed = time.perf_counter() - start
+    ops = len(keys) / elapsed if elapsed > 0 else 0.0
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_pct": 100.0 * hits / len(keys) if keys else 0.0,
+        "ops_per_sec": ops,
+        "switches": switches,
+    }
+
+
+def _cell(setup: Setup, workload: str, engine: str, compute) -> Dict[str, float]:
+    """Compute one metrics cell, via the active sweep checkpoint if any."""
+    entry = checkpoint_mod.active()
+    if entry is None:
+        return compute()
+    ckpt, experiment = entry
+    key = ckpt.cell_key(
+        "cell", experiment, setup.name, setup.accesses, workload, engine
+    )
+    cached = ckpt.get(key)
+    if cached is not None:
+        return cached
+    cell = compute()
+    ckpt.put(key, cell)
+    return cell
+
+
+def run(
+    setup: Optional[Setup] = None,
+    workloads: Optional[Sequence[str]] = None,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Hit rate and throughput of every (key stream, engine) pair.
+
+    Args:
+        setup: experiment scale; capacity is the L2's line count, so
+            the engine holds as many entries as the simulated cache
+            held blocks.
+        workloads: key-stream names (default: all of
+            :data:`DEFAULT_WORKLOADS`).
+        engines: engine specs (default: :data:`DEFAULT_ENGINES`).
+        seed: base seed for generators and stochastic components.
+    """
+    setup = setup or make_setup()
+    workloads = list(workloads or DEFAULT_WORKLOADS)
+    engines = list(engines)
+    capacity = setup.l2.num_lines
+
+    result = ExperimentResult(
+        experiment="ext-online",
+        description="online KV engine: adaptive vs fixed policies vs "
+        f"functools.lru_cache ({capacity} entries, {NUM_SHARDS} shards)",
+        headers=["workload", "engine", "hits", "misses", "hit %",
+                 "ops/sec", "switches"],
+    )
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for workload in workloads:
+        keys = build_key_stream(workload, capacity, setup, seed=seed)
+        table[workload] = {}
+        for engine in engines:
+            cell = _cell(
+                setup, workload, engine,
+                lambda e=engine: replay(e, keys, capacity, seed=seed),
+            )
+            table[workload][engine] = cell
+            result.add_row(
+                workload, engine, cell["hits"], cell["misses"],
+                cell["hit_pct"], cell["ops_per_sec"], cell["switches"],
+            )
+
+    for workload, cells in table.items():
+        fixed = {e: cells[e]["hit_pct"] for e in FIXED_BASELINES if e in cells}
+        if not fixed or "adaptive" not in cells:
+            continue
+        best_name = max(fixed, key=fixed.get)
+        worst = min(fixed.values())
+        adaptive = cells["adaptive"]["hit_pct"]
+        verdict = "matches/beats" if adaptive >= fixed[best_name] - 0.5 else "trails"
+        result.add_note(
+            f"{workload}: adaptive {adaptive:.1f}% {verdict} best fixed "
+            f"({best_name} {fixed[best_name]:.1f}%; worst fixed {worst:.1f}%)."
+        )
+    return result
+
+
+def adaptive_vs_best_fixed(result: ExperimentResult,
+                           workload: str = PHASE_WORKLOAD) -> float:
+    """Adaptive hit %% minus the best fixed policy's, for ``workload``.
+
+    Positive (or mildly negative, within noise) means the adaptive
+    engine matched or beat the better fixed policy — the acceptance
+    condition for the phase-change workload.
+    """
+    rows = [r for r in result.rows if r[0] == workload]
+    by_engine = {r[1]: r[4] for r in rows}
+    best_fixed = max(
+        value for engine, value in by_engine.items()
+        if engine in FIXED_BASELINES
+    )
+    return by_engine["adaptive"] - best_fixed
+
+
+if __name__ == "__main__":
+    print(run().render())

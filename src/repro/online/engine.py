@@ -1,0 +1,259 @@
+"""The sharded, thread-safe adaptive key-value cache.
+
+:class:`AdaptiveKVCache` is the paper's machinery lifted into a serving
+shape: keys are fingerprinted (:mod:`repro.online.keyspace`), routed to
+one of N locked shards (:mod:`repro.online.shard`), and each shard's
+contents are managed by a replacement policy — fixed, fully adaptive
+(Algorithm 1 with shadow directories per shard), or sampled (leader
+shards train a global PSEL selector that everyone else imitates,
+Section 4.7 at shard granularity).
+
+Capacity is expressed in entries, optionally also in bytes; entries may
+carry TTLs. ``stats()`` returns one merged
+:class:`~repro.online.stats.KVCacheStats` snapshot.
+
+Example::
+
+    cache = AdaptiveKVCache(capacity_entries=4096, num_shards=8)
+    cache.put("user:17", profile)
+    profile = cache.get("user:17")
+    value = cache.get_or_compute(("q", 42), expensive)
+    print(cache.stats().hit_ratio)
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.core.sbar import spread_leader_sets
+from repro.core.selector import GlobalSelector
+from repro.online.keyspace import key_fingerprint, shard_of
+from repro.online.policies import (
+    DuelingResidentPolicy,
+    LockedVoteSink,
+    build_shard_policy,
+)
+from repro.online.shard import CacheShard
+from repro.online.stats import KVCacheStats
+from repro.utils.bitops import is_power_of_two
+
+#: Engine modes: every shard adaptive, sampled leaders + followers, or
+#: a fixed registry policy in every shard.
+MODES = ("adaptive", "sampled", "fixed")
+
+
+def default_sizeof(value) -> int:
+    """Shallow byte-size estimate of a cached value.
+
+    ``sys.getsizeof`` on the value itself — containers are *not*
+    traversed. Pass an explicit ``size=`` to ``put`` (or a custom
+    ``sizeof``) when deep accounting matters.
+    """
+    return sys.getsizeof(value)
+
+
+class AdaptiveKVCache:
+    """An in-process, sharded, adaptive key-value cache.
+
+    Args:
+        capacity_entries: total entry capacity, spread over the shards
+            (shards differing by at most one entry).
+        num_shards: power-of-two shard count; each shard has its own
+            lock, so this bounds write concurrency.
+        policy: ``"adaptive"`` (default — Algorithm 1 per shard),
+            ``"sampled"`` (SBAR-style leaders + followers) or any
+            registry policy name (``"lru"``, ``"lfu"``, ...).
+        components: the two-or-more component policies the adaptive
+            modes select between.
+        partial_bits: shadow-directory fingerprint width (None = full
+            64-bit fingerprints; 16 keeps Section 3.1's storage story).
+        num_leader_shards: leader count for ``"sampled"``.
+        default_ttl: seconds before entries expire (lazily), or None.
+        capacity_bytes: optional byte budget, split over shards.
+        sizeof: value-size estimator for byte accounting.
+        history_factory: per-shard miss-history override (the theory
+            bound check passes a counter history here).
+        seed: deterministic seed for stochastic components.
+        clock: monotonic time source (injectable for TTL tests).
+    """
+
+    def __init__(
+        self,
+        capacity_entries: int = 1024,
+        num_shards: int = 8,
+        policy: str = "adaptive",
+        components: Sequence[str] = ("lru", "lfu"),
+        partial_bits: Optional[int] = 16,
+        num_leader_shards: int = 2,
+        default_ttl: Optional[float] = None,
+        capacity_bytes: Optional[int] = None,
+        sizeof: Optional[Callable] = None,
+        history_factory=None,
+        seed: int = 0,
+        clock: Callable[[], float] = None,
+    ):
+        if not is_power_of_two(num_shards):
+            raise ValueError(
+                f"num_shards must be a power of two, got {num_shards}"
+            )
+        if capacity_entries < num_shards:
+            raise ValueError(
+                f"capacity_entries ({capacity_entries}) must be at least "
+                f"num_shards ({num_shards})"
+            )
+        mode = "fixed" if policy not in ("adaptive", "sampled") else policy
+        if mode == "sampled" and len(components) != 2:
+            raise ValueError("sampled mode adapts over exactly two components")
+        if capacity_bytes is not None and sizeof is None:
+            sizeof = default_sizeof
+        self.policy_kind = policy
+        self.mode = mode
+        self.components = tuple(components)
+        self.num_shards = num_shards
+        self.capacity_entries = capacity_entries
+
+        self.global_selector: Optional[GlobalSelector] = None
+        vote_sink = None
+        leaders = ()
+        if mode == "sampled":
+            self.global_selector = GlobalSelector()
+            vote_sink = LockedVoteSink(self.global_selector)
+            leaders = frozenset(
+                spread_leader_sets(num_shards,
+                                   min(num_leader_shards, num_shards))
+            )
+        self.leader_shards: Tuple[int, ...] = tuple(sorted(leaders))
+
+        base, remainder = divmod(capacity_entries, num_shards)
+        self.shards = []
+        for index in range(num_shards):
+            capacity = base + (1 if index < remainder else 0)
+            shard_policy = self._build_policy(
+                index, capacity, leaders, partial_bits, history_factory,
+                seed, vote_sink,
+            )
+            shard_bytes = None
+            if capacity_bytes is not None:
+                byte_base, byte_rem = divmod(capacity_bytes, num_shards)
+                shard_bytes = byte_base + (1 if index < byte_rem else 0)
+            self.shards.append(
+                CacheShard(
+                    capacity,
+                    shard_policy,
+                    default_ttl=default_ttl,
+                    capacity_bytes=shard_bytes,
+                    sizeof=sizeof,
+                    clock=clock,
+                )
+            )
+
+    def _build_policy(self, index, capacity, leaders, partial_bits,
+                      history_factory, seed, vote_sink):
+        """The replacement policy for shard ``index``."""
+        if self.mode == "fixed":
+            return build_shard_policy(
+                self.policy_kind, capacity, seed=seed + index
+            )
+        if self.mode == "adaptive" or index in leaders:
+            return build_shard_policy(
+                "adaptive",
+                capacity,
+                components=self.components,
+                partial_bits=partial_bits,
+                history_factory=history_factory,
+                seed=seed + index,
+                vote_sink=vote_sink if index in leaders else None,
+            )
+        return DuelingResidentPolicy(
+            capacity, self.components, self.global_selector, seed=seed + index
+        )
+
+    # ------------------------------------------------------------------
+    # The serving API
+    # ------------------------------------------------------------------
+
+    def _shard_for(self, key) -> CacheShard:
+        """The shard responsible for ``key``."""
+        return self.shards[shard_of(key_fingerprint(key), self.num_shards)]
+
+    def get(self, key, default=None):
+        """Value stored under ``key``, or ``default`` on a miss."""
+        return self._shard_for(key).get(key, default)
+
+    def put(self, key, value, ttl: Optional[float] = None,
+            size: Optional[int] = None) -> None:
+        """Store ``value`` under ``key`` (insert or overwrite).
+
+        Args:
+            ttl: per-entry TTL override, seconds.
+            size: explicit byte size for byte-capacity accounting.
+        """
+        self._shard_for(key).put(key, value, ttl=ttl, size=size)
+
+    def get_or_compute(self, key, compute, ttl: Optional[float] = None):
+        """Return the cached value, computing and caching it on a miss.
+
+        ``compute(key)`` runs under the key's shard lock — concurrent
+        callers of the same shard wait rather than stampede — so it
+        must not call back into this cache.
+        """
+        return self._shard_for(key).get_or_compute(key, compute, ttl=ttl)
+
+    def delete(self, key) -> bool:
+        """Remove ``key``; returns True if it was resident."""
+        return self._shard_for(key).delete(key)
+
+    def __contains__(self, key) -> bool:
+        """Whether ``key`` is resident and unexpired (no policy events)."""
+        return self._shard_for(key).contains(key)
+
+    def __len__(self) -> int:
+        """Total resident entries across shards."""
+        return sum(shard.occupancy() for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def selected_component(self) -> Optional[int]:
+        """Sampled mode: the globally imitated component; else None."""
+        if self.global_selector is None:
+            return None
+        return self.global_selector.selected()
+
+    def stats(self) -> KVCacheStats:
+        """Merged counter snapshot across all shards.
+
+        Each shard is snapshotted under its own lock; the merge itself
+        is not a global atomic cut (shards keep serving while others
+        are read), which is the standard sharded-stats trade-off.
+        """
+        totals = {}
+        per_shard_occupancy = []
+        for shard in self.shards:
+            snap = shard.snapshot()
+            per_shard_occupancy.append(snap["occupancy"])
+            for field, value in snap.items():
+                totals[field] = totals.get(field, 0) + value
+        if self.global_selector is not None:
+            totals["policy_switches"] = (
+                totals.get("policy_switches", 0) + self.global_selector.switches
+            )
+        return KVCacheStats(
+            gets=totals.get("gets", 0),
+            hits=totals.get("hits", 0),
+            misses=totals.get("misses", 0),
+            puts=totals.get("puts", 0),
+            inserts=totals.get("inserts", 0),
+            updates=totals.get("updates", 0),
+            deletes=totals.get("deletes", 0),
+            evictions=totals.get("evictions", 0),
+            expirations=totals.get("expirations", 0),
+            policy_switches=totals.get("policy_switches", 0),
+            occupancy=totals.get("occupancy", 0),
+            occupancy_bytes=totals.get("occupancy_bytes", 0),
+            capacity_entries=self.capacity_entries,
+            shards=self.num_shards,
+            per_shard_occupancy=per_shard_occupancy,
+        )

@@ -18,6 +18,7 @@ from repro.policies.belady import belady_misses
 from repro.policies.registry import (
     available_policies,
     make_policy,
+    policy_summaries,
     register_policy,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "belady_misses",
     "available_policies",
     "make_policy",
+    "policy_summaries",
     "register_policy",
 ]

@@ -8,7 +8,8 @@ specified as plain strings.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Tuple
 
 from repro.policies.base import ReplacementPolicy
 from repro.policies.bip import BIPPolicy
@@ -34,6 +35,22 @@ def register_policy(name: str, factory: PolicyFactory) -> None:
 def available_policies() -> List[str]:
     """Sorted names of all registered policies."""
     return sorted(_REGISTRY)
+
+
+def policy_summaries() -> List[Tuple[str, str, str]]:
+    """``(name, factory, summary)`` for every registered policy.
+
+    The summary is the first line of the factory's docstring — enough
+    for the ``repro-experiments policies`` listing without exposing the
+    registry's internals.
+    """
+    rows = []
+    for name in available_policies():
+        factory = _REGISTRY[name]
+        doc = inspect.getdoc(factory) or ""
+        summary = doc.splitlines()[0] if doc else ""
+        rows.append((name, factory.__name__, summary))
+    return rows
 
 
 def make_policy(name: str, num_sets: int, ways: int, **kwargs) -> ReplacementPolicy:

@@ -27,6 +27,13 @@ from repro.workloads.synth import (
     strided_sweep,
 )
 from repro.workloads.phases import concat_phases, interleave_streams, confine_to_sets
+from repro.workloads.keystreams import (
+    keys_from_trace,
+    loop_keys,
+    phase_change_keys,
+    scan_keys,
+    zipf_keys,
+)
 from repro.workloads.builder import BranchProfile, WorkloadBuilder
 from repro.workloads.suite import (
     PRIMARY_SET,
@@ -60,6 +67,11 @@ __all__ = [
     "concat_phases",
     "interleave_streams",
     "confine_to_sets",
+    "zipf_keys",
+    "loop_keys",
+    "scan_keys",
+    "phase_change_keys",
+    "keys_from_trace",
     "BranchProfile",
     "WorkloadBuilder",
     "PRIMARY_SET",

@@ -1,0 +1,127 @@
+"""Key streams: workloads for the online key-value engine.
+
+The online engine (:mod:`repro.online`) is driven by *keys*, not
+addresses. These generators re-express the locality classes of
+:mod:`repro.workloads.synth` as key streams — Zipf skew (the pattern
+LFU exploits), one-pass scans over a hot set (LRU's nemesis), loops
+slightly larger than the cache (LRU-thrashing), and phase changes that
+flip between those regimes, the workload shape the adaptive scheme
+exists for. A bridge, :func:`keys_from_trace`, replays the simulator's
+address traces as key streams so the same named benchmarks (ammp, mcf,
+...) can exercise the engine.
+
+Keys are strings (``"prefix:line"``) so generators compose without
+colliding: distinct prefixes are distinct key universes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.workloads.synth import (
+    linear_loop,
+    scan_with_hot,
+    zipf_stream,
+)
+from repro.workloads.trace import Trace
+
+
+def _name(prefix: str, lines: Sequence[int]) -> List[str]:
+    """Render a line stream as namespaced string keys."""
+    return [f"{prefix}:{line}" for line in lines]
+
+
+def zipf_keys(
+    universe: int,
+    accesses: int,
+    alpha: float = 1.1,
+    seed: int = 0,
+    prefix: str = "z",
+) -> List[str]:
+    """Zipf-distributed keys: few hot keys, a long cold tail.
+
+    The canonical web/memoization key distribution — frequency skew
+    that LFU-style retention exploits.
+    """
+    return _name(prefix, zipf_stream(universe, accesses, alpha=alpha, seed=seed))
+
+
+def loop_keys(
+    footprint: int, accesses: int, prefix: str = "loop"
+) -> List[str]:
+    """A cyclic sweep over ``footprint`` keys.
+
+    With a footprint slightly above capacity this thrashes LRU (every
+    access misses) while MRU/LFU retain a stable resident subset.
+    """
+    return _name(prefix, linear_loop(footprint, accesses))
+
+
+def scan_keys(
+    hot: int,
+    scan: int,
+    accesses: int,
+    hot_fraction: float = 0.5,
+    seed: int = 0,
+    prefix: str = "s",
+) -> List[str]:
+    """A reused hot set interleaved with a one-pass scan.
+
+    The media/batch pattern: LFU keeps the hot set resident, LRU lets
+    the single-use scan flush it.
+    """
+    return _name(
+        prefix,
+        scan_with_hot(hot, scan, accesses, hot_fraction=hot_fraction, seed=seed),
+    )
+
+
+def phase_change_keys(
+    hot_universe: int,
+    loop_footprint: int,
+    accesses: int,
+    phases: int = 4,
+    alpha: float = 1.1,
+    seed: int = 0,
+    prefix: str = "p",
+) -> List[str]:
+    """Alternating Zipf and loop phases over disjoint key universes.
+
+    Even phases draw Zipf-skewed keys from one universe (frequency
+    locality — LFU's regime); odd phases sweep a loop over another
+    (recency-hostile — where LFU's stale counts hurt and an adaptive
+    cache must switch). This is the workload class the paper's Figure 7
+    shows for ammp, expressed over keys; the ``ext-online`` acceptance
+    check runs on it.
+    """
+    if phases <= 0:
+        raise ValueError(f"phases must be positive, got {phases}")
+    per_phase = -(-accesses // phases)
+    stream: List[str] = []
+    for phase in range(phases):
+        want = min(per_phase, accesses - len(stream))
+        if want <= 0:
+            break
+        if phase % 2 == 0:
+            stream.extend(
+                zipf_keys(hot_universe, want, alpha=alpha,
+                          seed=seed + phase, prefix=f"{prefix}-hot")
+            )
+        else:
+            stream.extend(
+                loop_keys(loop_footprint, want, prefix=f"{prefix}-loop")
+            )
+    return stream
+
+
+def keys_from_trace(
+    trace: Trace, line_bytes: int = 64, prefix: str = "blk"
+) -> List[str]:
+    """Replay a simulator address trace as a key stream.
+
+    Each memory record becomes the key of its cache line, so the
+    engine sees exactly the block-reuse structure the set-indexed
+    simulator saw — the bridge that lets the named suite workloads
+    (ammp, mcf, lucas, ...) exercise the online engine.
+    """
+    return _name(prefix, trace.block_addresses(line_bytes))

@@ -14,9 +14,17 @@ class TestCli:
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "sec44", "sec46", "sec47", "storage", "theory",
             "ablations", "ext-shared", "ext-prefetch", "ext-dip", "ext-skew",
-            "ext-validate", "ext-faults", "seeds",
+            "ext-validate", "ext-faults", "ext-online", "seeds",
         }
         assert set(EXPERIMENTS) == expected
+
+    def test_policies_subcommand(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lru", "lfu", "fifo", "mru", "random", "srrip", "bip"):
+            assert name in out
+        assert "adaptive" in out  # composite kinds are mentioned
+        assert "sbar" in out
 
     def test_storage_runs(self, capsys):
         assert main(["storage"]) == 0

@@ -15,6 +15,7 @@ class TestDocsExist:
         assert names == [
             "api.md",
             "extending-policies.md",
+            "online.md",
             "reproducing.md",
             "robustness.md",
             "theory.md",
@@ -58,6 +59,7 @@ class TestDocsReferenceRealCode:
         import repro.experiments.checkpoint
         import repro.experiments.runner
         import repro.faults
+        import repro.online
         import repro.policies
         import repro.prefetch
         import repro.workloads
@@ -69,7 +71,7 @@ class TestDocsReferenceRealCode:
             repro, repro.cache, repro.core, repro.cpu, repro.policies,
             repro.workloads, repro.analysis, repro.prefetch,
             repro.experiments, repro.experiments.runner,
-            repro.experiments.checkpoint, repro.faults,
+            repro.experiments.checkpoint, repro.faults, repro.online,
         ]
         for symbol in symbols:
             assert any(hasattr(ns, symbol) for ns in namespaces), symbol

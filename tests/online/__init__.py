@@ -1,0 +1,1 @@
+"""Tests for the online KV engine (repro.online)."""

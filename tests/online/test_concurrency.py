@@ -1,0 +1,131 @@
+"""Concurrency tests: many threads hammering one AdaptiveKVCache.
+
+The engine's thread-safety contract: every operation is atomic at
+shard granularity, counters never go inconsistent, and entries written
+by one thread and never evicted are visible to all. Threads here write
+disjoint key ranges small enough that nothing *needs* to be evicted,
+so "no lost entries" is a hard assertion, not a probabilistic one.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.online.engine import AdaptiveKVCache
+
+
+def hammer(cache, thread_id, writes, reads_per_write, errors):
+    """One worker: put a disjoint key range, re-read it continuously."""
+    try:
+        for i in range(writes):
+            key = ("t", thread_id, i)
+            cache.put(key, thread_id * 1_000_000 + i)
+            for j in range(reads_per_write):
+                probe = ("t", thread_id, i - j) if i >= j else key
+                value = cache.get(probe)
+                if value is not None and value != thread_id * 1_000_000 + (
+                    i - j if i >= j else i
+                ):
+                    raise AssertionError(
+                        f"read another thread's value via {probe}: {value}"
+                    )
+    except BaseException as exc:  # propagate into the main thread
+        errors.append(exc)
+
+
+@pytest.mark.parametrize("policy", ["adaptive", "sampled", "lru"])
+def test_hammer_no_lost_entries_and_consistent_stats(policy):
+    threads_n, writes = 8, 60
+    # Every thread's whole key range fits even if one shard got all of
+    # it: no eviction can occur, so every written key must survive.
+    cache = AdaptiveKVCache(
+        capacity_entries=2048, num_shards=4, policy=policy
+    )
+    errors = []
+    workers = [
+        threading.Thread(
+            target=hammer, args=(cache, t, writes, 3, errors)
+        )
+        for t in range(threads_n)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert not errors, errors
+
+    # No lost entries: every key every thread wrote is present with the
+    # value that thread wrote.
+    for t in range(threads_n):
+        for i in range(writes):
+            assert cache.get(("t", t, i)) == t * 1_000_000 + i
+
+    stats = cache.stats()
+    assert stats.evictions == 0
+    assert stats.occupancy == len(cache) == threads_n * writes
+    assert stats.inserts == threads_n * writes
+    assert stats.hits + stats.misses == stats.gets
+    assert stats.puts == threads_n * writes
+
+
+def test_concurrent_get_or_compute_single_flight_per_key():
+    cache = AdaptiveKVCache(capacity_entries=256, num_shards=2)
+    calls = []
+    lock = threading.Lock()
+
+    def compute(key):
+        with lock:
+            calls.append(key)
+        return key
+
+    barrier = threading.Barrier(6)
+
+    def worker():
+        barrier.wait()
+        for i in range(50):
+            assert cache.get_or_compute(("k", i % 20), compute) == ("k", i % 20)
+
+    workers = [threading.Thread(target=worker) for _ in range(6)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    # Each of the 20 keys is computed exactly once: compute runs under
+    # the shard lock, so concurrent misses for one key cannot stampede.
+    assert sorted(calls) == sorted(("k", i) for i in range(20))
+    stats = cache.stats()
+    assert stats.misses == 20
+    assert stats.hits == 6 * 50 - 20
+
+
+def test_concurrent_mixed_ops_stay_bounded():
+    cache = AdaptiveKVCache(capacity_entries=64, num_shards=4,
+                            policy="adaptive")
+    errors = []
+
+    def churn(thread_id):
+        try:
+            for i in range(400):
+                key = ("c", i % 100)
+                if i % 7 == 0:
+                    cache.delete(key)
+                elif i % 3 == 0:
+                    cache.put(key, thread_id)
+                else:
+                    cache.get(key)
+        except BaseException as exc:
+            errors.append(exc)
+
+    workers = [threading.Thread(target=churn, args=(t,)) for t in range(6)]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert not errors, errors
+    stats = cache.stats()
+    assert stats.occupancy <= 64
+    for shard in cache.shards:
+        assert shard.occupancy() <= shard.capacity
+    assert stats.hits + stats.misses == stats.gets

@@ -1,0 +1,83 @@
+"""Unit tests for key fingerprints, shard routing and partial folding."""
+
+import pytest
+
+from repro.online.keyspace import (
+    FINGERPRINT_BITS,
+    key_fingerprint,
+    partial_fingerprint_transform,
+    shard_of,
+)
+
+
+class TestKeyFingerprint:
+    def test_deterministic_across_types(self):
+        for key in [0, 1, -17, 2**80, "k", "", b"bytes", ("a", 3), True]:
+            assert key_fingerprint(key) == key_fingerprint(key)
+
+    def test_in_range(self):
+        for key in [0, "x", b"y", ("t", 1), 12345678901234567890]:
+            fp = key_fingerprint(key)
+            assert 0 <= fp < 2**FINGERPRINT_BITS
+
+    def test_distinct_types_distinct_universes(self):
+        # "1" the string, 1 the int and (1,) the tuple must not collide
+        # (domain separation).
+        fps = {key_fingerprint(k) for k in ["1", 1, (1,), b"1"]}
+        assert len(fps) == 4
+
+    def test_bool_is_not_int(self):
+        assert key_fingerprint(True) != key_fingerprint(1)
+
+    def test_spread(self):
+        # splitmix64 on sequential ints should spread well across
+        # shards even though the inputs differ only in low bits.
+        counts = [0] * 8
+        for i in range(8000):
+            counts[shard_of(key_fingerprint(i), 8)] += 1
+        assert min(counts) > 500
+
+    def test_unhashable_and_unsupported_rejected(self):
+        with pytest.raises(TypeError):
+            key_fingerprint([1, 2])
+        with pytest.raises(TypeError):
+            key_fingerprint(1.5)
+
+    def test_nested_tuples(self):
+        assert key_fingerprint((("a", 1), "b")) != key_fingerprint(("a", 1, "b"))
+
+
+class TestShardOf:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power of two"):
+            shard_of(123, 6)
+
+    def test_single_shard(self):
+        assert shard_of(key_fingerprint("k"), 1) == 0
+
+    def test_uses_high_bits(self):
+        # Fingerprints differing only in low bits map to one shard, so
+        # partial fingerprints (low-bit folds) stay shard-independent.
+        base = 0xABCD << 48
+        assert all(shard_of(base | low, 16) == shard_of(base, 16)
+                   for low in range(64))
+
+
+class TestPartialTransform:
+    def test_identity_when_full(self):
+        assert partial_fingerprint_transform(None)(12345) == 12345
+        assert partial_fingerprint_transform(64)(2**63) == 2**63
+
+    def test_folds_to_width(self):
+        fold = partial_fingerprint_transform(12)
+        for fp in [0, 1, 2**64 - 1, key_fingerprint("k")]:
+            assert 0 <= fold(fp) < 2**12
+
+    def test_fold_collides_but_preserves_equality(self):
+        fold = partial_fingerprint_transform(8)
+        fp = key_fingerprint("collide")
+        assert fold(fp) == fold(fp)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            partial_fingerprint_transform(0)
