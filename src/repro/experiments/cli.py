@@ -139,10 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "policies"],
+        choices=sorted(EXPERIMENTS) + ["all", "report", "policies", "golden"],
         help="which table/figure to regenerate ('report' writes a "
         "markdown report of everything; 'policies' lists the "
-        "registered replacement policies)",
+        "registered replacement policies; 'golden' checks or "
+        "regenerates the pinned golden-trace digests)",
     )
     parser.add_argument(
         "--out",
@@ -203,6 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="per-experiment wall-clock timeout (POSIX main thread only)",
+    )
+    golden_group = parser.add_mutually_exclusive_group()
+    golden_group.add_argument(
+        "--check",
+        action="store_true",
+        help="with 'golden': verify the pinned digests (the default)",
+    )
+    golden_group.add_argument(
+        "--regen",
+        action="store_true",
+        help="with 'golden': recompute and rewrite the pinned digests",
+    )
+    parser.add_argument(
+        "--golden-path",
+        default=None,
+        metavar="PATH",
+        help="with 'golden': digest file to check/regen "
+        "(default: tests/golden/golden.json)",
     )
     parser.add_argument(
         "--trace-cache",
@@ -270,6 +289,19 @@ def _run_policies() -> int:
     return 0
 
 
+def _run_golden(args: argparse.Namespace) -> int:
+    """Check (default) or regenerate the pinned golden-trace digests."""
+    from repro.oracle import golden
+
+    if args.regen:
+        path = golden.regen_golden(args.golden_path)
+        print(f"wrote golden digests to {path}")
+        return 0
+    ok, message = golden.check_golden(args.golden_path)
+    print(message, file=sys.stdout if ok else sys.stderr)
+    return 0 if ok else 1
+
+
 def _run_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
     from repro.utils.atomicio import atomic_write_text
@@ -302,6 +334,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_policies()
         if args.experiment == "report":
             return _run_report(args)
+        if args.experiment == "golden":
+            return _run_golden(args)
         return _run_experiments(args)
     finally:
         if args.trace_cache:

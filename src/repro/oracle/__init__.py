@@ -1,0 +1,49 @@
+"""The differential-testing oracle (independent correctness machinery).
+
+Every engine in this repository — the set-indexed hardware simulator
+(:mod:`repro.cache` / :mod:`repro.core`) and the sharded online engine
+(:mod:`repro.online`) — is tested here against *independent* executable
+specifications written for obviousness, not speed:
+
+* :mod:`repro.oracle.spec` — textbook reference models of every
+  registered replacement policy and of the paper's Algorithm 1;
+* :mod:`repro.oracle.stack` — a single-pass Mattson stack-distance
+  engine yielding LRU hit counts for all capacities at once;
+* :mod:`repro.oracle.harness` — the differential harness that drives a
+  real engine and its spec from one event stream and reports the first
+  divergent decision, plus cross-engine equivalence checks;
+* :mod:`repro.oracle.streams` — seeded random event-stream generators
+  for differential campaigns;
+* :mod:`repro.oracle.golden` — pinned golden-trace digests for the
+  named suite (``repro-experiments golden --check/--regen``).
+
+See ``docs/testing.md`` for the workflow.
+"""
+
+from repro.oracle.harness import (
+    CampaignReport,
+    Divergence,
+    build_hardware_pair,
+    build_shard_pair,
+    check_cross_engine,
+    differential_campaign,
+    run_differential,
+)
+from repro.oracle.spec import Decision, SpecCache, make_adaptive_spec, make_spec
+from repro.oracle.stack import StackDistanceEngine, lru_hits_all_ways
+
+__all__ = [
+    "CampaignReport",
+    "Decision",
+    "Divergence",
+    "SpecCache",
+    "StackDistanceEngine",
+    "build_hardware_pair",
+    "build_shard_pair",
+    "check_cross_engine",
+    "differential_campaign",
+    "lru_hits_all_ways",
+    "make_adaptive_spec",
+    "make_spec",
+    "run_differential",
+]

@@ -1,0 +1,85 @@
+"""Seeded event-stream generators for differential campaigns.
+
+Each generator is a pure function of its seed, so a campaign failure
+reports the seed and anyone can replay the exact stream that diverged.
+Streams are deliberately *hot*: tag/key spaces are sized a small
+multiple of the cache capacity so evictions — where replacement policies
+actually act — dominate, instead of cold misses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.utils.rng import DeterministicRNG
+
+#: Operation names emitted by :func:`shard_ops`.
+SHARD_OPS = ("get", "get_or_compute", "put", "delete")
+
+
+def hardware_stream(
+    seed: int,
+    num_sets: int,
+    ways: int,
+    length: int,
+    tag_multiple: float = 3.0,
+    write_ratio: float = 0.25,
+) -> List[Tuple[int, int, bool]]:
+    """A random (set_index, tag, is_write) stream for hardware engines.
+
+    Args:
+        seed: replayable stream identity.
+        num_sets: set indices are drawn uniformly from [0, num_sets).
+        ways: associativity, used to size the tag space.
+        length: number of accesses.
+        tag_multiple: tag-space size as a multiple of ``ways`` —
+            small enough that sets refill and evict repeatedly.
+        write_ratio: fraction of accesses that are writes.
+    """
+    rng = DeterministicRNG(seed)
+    tag_space = max(2, int(ways * tag_multiple))
+    stream = []
+    for _ in range(length):
+        set_index = rng.choice_index(num_sets)
+        tag = rng.choice_index(tag_space)
+        is_write = rng.random() < write_ratio
+        stream.append((set_index, tag, is_write))
+    return stream
+
+
+def shard_ops(
+    seed: int,
+    capacity: int,
+    length: int,
+    key_multiple: float = 3.0,
+) -> List[Tuple[str, int]]:
+    """A random (op, key) stream for the online shard.
+
+    Ops are drawn from :data:`SHARD_OPS` with a mix that keeps the shard
+    full — mostly demand fills (``get_or_compute``) and writes (``put``),
+    some no-fill lookups (``get``) and occasional ``delete`` so the
+    free-list discipline is exercised. TTL and byte budgets are *not*
+    exercised here; those are wall-clock- and size-dependent behaviours
+    covered by dedicated unit tests, not by the policy oracle.
+
+    Args:
+        seed: replayable stream identity.
+        capacity: shard entry capacity, used to size the key space.
+        length: number of operations.
+        key_multiple: key-space size as a multiple of ``capacity``.
+    """
+    rng = DeterministicRNG(seed)
+    key_space = max(2, int(capacity * key_multiple))
+    ops = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.45:
+            op = "get_or_compute"
+        elif roll < 0.70:
+            op = "put"
+        elif roll < 0.90:
+            op = "get"
+        else:
+            op = "delete"
+        ops.append((op, rng.choice_index(key_space)))
+    return ops

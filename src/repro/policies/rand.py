@@ -28,3 +28,17 @@ class RandomPolicy(ReplacementPolicy):
     def victim(self, set_index: int, set_view: SetView) -> int:
         candidates = set_view.valid_ways()
         return candidates[self._rng.choice_index(len(candidates))]
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the policy's RNG position.
+
+        Victim choice is the policy's *only* state, and it advances one
+        RNG draw per eviction — so checkpoint/resume must capture the
+        stream position, not just the seed, for replayed victims to stay
+        bit-identical with the uninterrupted run.
+        """
+        return {"rng": self._rng.state()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._rng.restore(state["rng"])

@@ -51,3 +51,32 @@ class DeterministicRNG:
         interleaving in a way that depends on access order.
         """
         return DeterministicRNG((self._seed * 1000003 + salt) & 0xFFFFFFFFFFFF)
+
+    def state(self) -> dict:
+        """JSON-serializable snapshot of the stream position.
+
+        Reseeding with the original seed only replays a stream from the
+        *beginning*; resuming a checkpointed run mid-stream needs the
+        generator's exact position, or every subsequent draw — and thus
+        every Random-policy victim — silently diverges from the
+        uninterrupted run. The Mersenne-Twister state tuple is converted
+        to plain lists so it survives a JSON round-trip.
+        """
+        version, internal, gauss = self._random.getstate()
+        return {
+            "seed": self._seed,
+            "version": version,
+            "internal": list(internal),
+            "gauss": gauss,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume the stream from a :meth:`state` snapshot.
+
+        After restoring, draws continue bit-identically with the run
+        that produced the snapshot — JSON round-trips included.
+        """
+        self._seed = state["seed"]
+        self._random.setstate(
+            (state["version"], tuple(state["internal"]), state["gauss"])
+        )

@@ -209,3 +209,30 @@ class TestResume:
                      "--checkpoint", str(ckpt_path)]) == 0
         # The failure was not checkpointed, so the retry really ran.
         assert stubs2["bbb"].calls == 1
+
+
+class TestGoldenSubcommand:
+    def test_check_passes_on_clean_tree(self, capsys):
+        assert main(["golden", "--check"]) == 0
+        assert "match" in capsys.readouterr().out
+
+    def test_check_is_the_default_action(self, capsys):
+        assert main(["golden"]) == 0
+
+    def test_regen_writes_requested_path(self, capsys, tmp_path):
+        target = tmp_path / "golden.json"
+        assert main(["golden", "--regen", "--golden-path",
+                     str(target)]) == 0
+        assert target.exists()
+        assert str(target) in capsys.readouterr().out
+
+    def test_check_fails_against_stale_digests(self, capsys, tmp_path):
+        target = tmp_path / "golden.json"
+        target.write_text('{"format": 1, "experiments": {}}')
+        assert main(["golden", "--check", "--golden-path",
+                     str(target)]) == 1
+        assert capsys.readouterr().err
+
+    def test_check_and_regen_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["golden", "--check", "--regen"])

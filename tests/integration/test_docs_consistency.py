@@ -18,6 +18,7 @@ class TestDocsExist:
             "online.md",
             "reproducing.md",
             "robustness.md",
+            "testing.md",
             "theory.md",
             "timing-model.md",
             "workloads.md",
@@ -60,6 +61,7 @@ class TestDocsReferenceRealCode:
         import repro.experiments.runner
         import repro.faults
         import repro.online
+        import repro.oracle
         import repro.policies
         import repro.prefetch
         import repro.workloads
@@ -72,6 +74,7 @@ class TestDocsReferenceRealCode:
             repro.workloads, repro.analysis, repro.prefetch,
             repro.experiments, repro.experiments.runner,
             repro.experiments.checkpoint, repro.faults, repro.online,
+            repro.oracle,
         ]
         for symbol in symbols:
             assert any(hasattr(ns, symbol) for ns in namespaces), symbol

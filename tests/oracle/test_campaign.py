@@ -1,0 +1,36 @@
+"""The full differential campaign: the PR's headline acceptance check.
+
+Every registered policy plus the adaptive scheme, on both the hardware
+cache and the online shard, over 16 independent seeded streams each —
+256 runs — must agree with the executable specs on every decision.
+"""
+
+from repro.oracle import differential_campaign
+from repro.policies.registry import available_policies
+
+
+class TestCampaign:
+    def test_all_policies_both_engines_no_divergence(self):
+        report = differential_campaign()
+        assert report.runs >= 200, report.runs
+        assert report.runs == (len(available_policies()) + 1) * 2 * 16
+        assert report.events > 0
+        assert report.ok, report.summary()
+        assert "no divergence" in report.summary()
+
+    def test_campaign_is_deterministic(self):
+        first = differential_campaign(policies=["lru", "adaptive"],
+                                      streams_per_combo=4,
+                                      stream_length=80)
+        second = differential_campaign(policies=["lru", "adaptive"],
+                                       streams_per_combo=4,
+                                       stream_length=80)
+        assert (first.runs, first.events) == (second.runs, second.events)
+        assert first.ok and second.ok
+
+    def test_unknown_engine_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            differential_campaign(policies=["lru"], engines=("fpga",),
+                                  streams_per_combo=1)

@@ -1,0 +1,77 @@
+"""Mattson stack-distance engine vs real LRU caches and OPT.
+
+One pass of the stack engine must yield the exact LRU hit count for
+*every* associativity at once (Mattson's inclusion property); each
+count is cross-checked against an actual ``policies.lru`` cache of that
+associativity, and the implied miss counts against ``belady_misses`` as
+the universal lower bound.
+"""
+
+from hypothesis import given, settings
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.oracle.stack import StackDistanceEngine, lru_hits_all_ways
+from repro.policies.belady import belady_misses
+from repro.policies.lru import LRUPolicy
+from tests import strategies
+
+NUM_SETS = 4
+MAX_WAYS = 6
+
+block_streams = strategies.block_streams(max_block=60, max_size=400)
+
+
+def lru_cache_hits(blocks, num_sets, ways):
+    """Hits of a real LRU cache on a block stream (ground truth)."""
+    config = CacheConfig(size_bytes=num_sets * ways * 64, ways=ways)
+    cache = SetAssociativeCache(config,
+                                LRUPolicy(num_sets, ways))
+    for block in blocks:
+        cache.access(block << config.offset_bits)
+    return cache.stats.hits
+
+
+class TestStackDistance:
+    @given(blocks=block_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_real_lru_at_every_associativity(self, blocks):
+        hits = lru_hits_all_ways(blocks, NUM_SETS, MAX_WAYS)
+        assert len(hits) == MAX_WAYS
+        for ways in range(1, MAX_WAYS + 1):
+            assert hits[ways - 1] == lru_cache_hits(blocks, NUM_SETS, ways)
+
+    @given(blocks=block_streams)
+    @settings(max_examples=30, deadline=None)
+    def test_inclusion_monotonicity(self, blocks):
+        """More ways can only ever add hits (stack inclusion)."""
+        hits = lru_hits_all_ways(blocks, NUM_SETS, MAX_WAYS)
+        assert all(a <= b for a, b in zip(hits, hits[1:]))
+
+    @given(blocks=block_streams)
+    @settings(max_examples=25, deadline=None)
+    def test_opt_lower_bounds_lru(self, blocks):
+        engine = StackDistanceEngine(NUM_SETS)
+        for block in blocks:
+            engine.record(block)
+        for ways in range(1, MAX_WAYS + 1):
+            opt = belady_misses(blocks, NUM_SETS, ways)
+            assert opt <= engine.misses_for_ways(ways)
+
+    @given(blocks=block_streams)
+    @settings(max_examples=25, deadline=None)
+    def test_accounting(self, blocks):
+        engine = StackDistanceEngine(NUM_SETS)
+        for block in blocks:
+            engine.record(block)
+        assert engine.accesses == len(blocks)
+        assert engine.cold_misses == len(set(blocks))
+        for ways in range(1, MAX_WAYS + 1):
+            assert (engine.hits_for_ways(ways) + engine.misses_for_ways(ways)
+                    == len(blocks))
+
+    def test_single_set_sequential_scan_never_hits(self):
+        engine = StackDistanceEngine(1)
+        for block in range(100):
+            assert engine.record(block) == -1
+        assert engine.hits_for_ways(64) == 0

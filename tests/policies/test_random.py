@@ -61,3 +61,59 @@ class TestRandomPolicy:
                 way = cache.sets[0].find(tiny_config.tag(address))
                 evicted.add(way)
         assert evicted == set(range(tiny_config.ways))
+
+
+class TestCheckpointResume:
+    def test_resumed_victims_bit_identical(self, tiny_config):
+        """Checkpoint mid-run, resume into a fresh policy, and the
+        victim stream must continue exactly as the uninterrupted run."""
+        import json
+
+        addresses = addresses_for_set(tiny_config, 0, 80)
+        cut = 37
+
+        def make():
+            return RandomPolicy(tiny_config.num_sets, tiny_config.ways,
+                                seed=11)
+
+        # Uninterrupted reference run.
+        reference = SetAssociativeCache(tiny_config, make())
+        victims = [reference.access(a).evicted_tag for a in addresses]
+
+        # Interrupted run: checkpoint the policy RNG at the cut...
+        first_policy = make()
+        first = SetAssociativeCache(tiny_config, first_policy)
+        head = [first.access(a).evicted_tag for a in addresses[:cut]]
+        checkpoint = json.loads(json.dumps(first_policy.state_dict()))
+
+        # ...then resume with a *fresh* policy, replaying the resident
+        # state and restoring the RNG position from the checkpoint.
+        resumed_policy = make()
+        resumed = SetAssociativeCache(tiny_config, resumed_policy)
+        for a in addresses[:cut]:
+            resumed.access(a)
+        resumed_policy.load_state_dict(checkpoint)
+        tail = [resumed.access(a).evicted_tag for a in addresses[cut:]]
+
+        assert head + tail == victims
+
+    def test_reseeding_alone_diverges(self, tiny_config):
+        """The control: restarting from the seed (no state restore)
+        diverges — which is exactly why state_dict has to exist."""
+        addresses = addresses_for_set(tiny_config, 0, 80)
+        cut = 37
+
+        reference = SetAssociativeCache(
+            tiny_config,
+            RandomPolicy(tiny_config.num_sets, tiny_config.ways, seed=11),
+        )
+        victims = [reference.access(a).evicted_tag for a in addresses]
+
+        naive = SetAssociativeCache(
+            tiny_config,
+            RandomPolicy(tiny_config.num_sets, tiny_config.ways, seed=11),
+        )
+        head = [naive.access(a).evicted_tag for a in addresses[:cut]]
+        naive.policy._rng = type(naive.policy._rng)(11)  # "resume" by reseed
+        tail = [naive.access(a).evicted_tag for a in addresses[cut:]]
+        assert head + tail != victims

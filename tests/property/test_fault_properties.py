@@ -20,16 +20,15 @@ from repro.core.history import (
 )
 from repro.core.multi import make_adaptive
 from repro.faults import FaultInjector, FaultPlan
+from tests import strategies
 
 pytestmark = pytest.mark.faults
 
 CONFIG = CacheConfig(size_bytes=2 * 1024, ways=4, line_bytes=64)  # 8 sets
 
-block_streams = st.lists(
-    st.integers(min_value=0, max_value=200), min_size=1, max_size=300
-)
+block_streams = strategies.block_streams(max_block=200, max_size=300)
 
-fault_rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+fault_rates = strategies.fault_rates()
 
 history_factories = st.sampled_from([
     lambda n: BitVectorHistory(n, window=CONFIG.ways),
@@ -51,7 +50,7 @@ class TestFaultedAdaptiveInvariants:
         rate=fault_rates,
         factory=history_factories,
         mode=history_modes,
-        seed=st.integers(min_value=0, max_value=2**31),
+        seed=strategies.seeds(),
     )
     @settings(max_examples=60, deadline=None)
     def test_terminates_with_consistent_stats(
@@ -77,7 +76,7 @@ class TestFaultedAdaptiveInvariants:
         blocks=block_streams,
         rate=fault_rates,
         factory=history_factories,
-        seed=st.integers(min_value=0, max_value=2**31),
+        seed=strategies.seeds(),
     )
     @settings(max_examples=40, deadline=None)
     def test_selection_stays_in_range(self, blocks, rate, factory, seed):
@@ -93,7 +92,7 @@ class TestFaultedAdaptiveInvariants:
             assert history.best_component() in (0, 1)
             assert all(history.misses(c) >= 0 for c in (0, 1))
 
-    @given(blocks=block_streams, seed=st.integers(min_value=0, max_value=999))
+    @given(blocks=block_streams, seed=strategies.seeds(max_value=999))
     @settings(max_examples=25, deadline=None)
     def test_armed_quiet_never_changes_behavior(self, blocks, seed):
         plain = make_adaptive(CONFIG.num_sets, CONFIG.ways)

@@ -1,6 +1,6 @@
 """Property-based tests for the processor models and the skewed cache."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig
@@ -9,29 +9,14 @@ from repro.cpu.config import ProcessorConfig
 from repro.cpu.scoreboard import scoreboard_simulate
 from repro.cpu.timing import compile_workload, simulate
 from repro.policies.lru import LRUPolicy
-from repro.workloads.trace import (
-    KIND_BRANCH_NOT_TAKEN,
-    KIND_BRANCH_TAKEN,
-    KIND_LOAD,
-    KIND_STORE,
-    Trace,
-)
+from repro.workloads.trace import KIND_STORE, Trace
+from tests import strategies
 
 L1 = CacheConfig(size_bytes=1024, ways=4, line_bytes=64, hit_latency=2)
 L2 = CacheConfig(size_bytes=4 * 1024, ways=4, line_bytes=64, hit_latency=15)
 PROCESSOR = ProcessorConfig(l1d=L1, l1i=L1, l2=L2)
 
-records = st.lists(
-    st.tuples(
-        st.sampled_from(
-            [KIND_LOAD, KIND_STORE, KIND_BRANCH_TAKEN, KIND_BRANCH_NOT_TAKEN]
-        ),
-        st.integers(min_value=0, max_value=300),
-        st.integers(min_value=0, max_value=20),
-    ),
-    min_size=1,
-    max_size=250,
-)
+records = strategies.trace_records(max_block=300, max_gap=20, max_size=250)
 
 
 def make_trace(raw):
@@ -93,8 +78,7 @@ class TestModelSanity:
 
 
 class TestSkewedProperties:
-    blocks = st.lists(st.integers(min_value=0, max_value=400),
-                      min_size=1, max_size=400)
+    blocks = strategies.block_streams(max_block=400, max_size=400)
 
     @given(blocks=blocks)
     @settings(max_examples=40, deadline=None)

@@ -13,16 +13,12 @@ from hypothesis import given, settings, strategies as st
 from repro.online.bound import check_online_miss_bound
 from repro.online.engine import AdaptiveKVCache
 from repro.online.keyspace import key_fingerprint, shard_of
+from tests import strategies
 
 # Small universes force evictions (capacity 8-32 vs up to 60 distinct
 # keys), which is where the bound is non-trivial.
-int_keys = st.lists(
-    st.integers(min_value=0, max_value=60), min_size=1, max_size=600
-)
-str_keys = st.lists(
-    st.text(alphabet="abcdef", min_size=1, max_size=3),
-    min_size=1, max_size=600,
-)
+int_keys = strategies.int_key_streams(max_key=60, max_size=600)
+str_keys = strategies.str_key_streams(max_size=600)
 
 
 class TestOnlineMissBound:

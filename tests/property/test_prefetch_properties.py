@@ -9,12 +9,11 @@ from repro.prefetch.engine import PrefetchingCache
 from repro.prefetch.hybrid import AdaptiveHybridPrefetcher
 from repro.prefetch.nextline import NextLinePrefetcher
 from repro.prefetch.stride import StridePrefetcher
+from tests import strategies
 
 CONFIG = CacheConfig(size_bytes=2 * 1024, ways=4, line_bytes=64)
 
-block_streams = st.lists(
-    st.integers(min_value=0, max_value=300), min_size=1, max_size=300
-)
+block_streams = strategies.block_streams(max_block=300, max_size=300)
 
 
 def make_engine(prefetcher, budget=4):

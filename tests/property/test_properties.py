@@ -18,14 +18,13 @@ from repro.core.theory import check_miss_bound
 from repro.policies.belady import belady_misses
 from repro.policies.registry import make_policy
 from repro.utils.bitops import low_bits, xor_fold
+from tests import strategies
 
 CONFIG = CacheConfig(size_bytes=2 * 1024, ways=4, line_bytes=64)  # 8 sets
 
-block_streams = st.lists(
-    st.integers(min_value=0, max_value=200), min_size=1, max_size=400
-)
+block_streams = strategies.block_streams(max_block=200, max_size=400)
 
-policy_names = st.sampled_from(["lru", "lfu", "fifo", "mru", "random"])
+policy_names = strategies.policy_names()
 
 
 def run_blocks(cache, blocks):
@@ -206,9 +205,7 @@ class TestPartialTagProperties:
 
 
 class TestHistoryProperties:
-    events = st.lists(
-        st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=200
-    )
+    events = strategies.history_events(components=2, max_size=200)
 
     @given(events=events, window=st.integers(min_value=1, max_value=16))
     @settings(max_examples=50, deadline=None)

@@ -10,19 +10,18 @@ reproduction stands on.
 
 from collections import OrderedDict
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig
 from repro.policies.fifo import FIFOPolicy
 from repro.policies.lfu import LFUPolicy
 from repro.policies.lru import LRUPolicy
+from tests import strategies
 
 CONFIG = CacheConfig(size_bytes=2 * 1024, ways=4, line_bytes=64)  # 8 sets
 
-block_streams = st.lists(
-    st.integers(min_value=0, max_value=150), min_size=1, max_size=500
-)
+block_streams = strategies.block_streams(max_block=150, max_size=500)
 
 
 class ReferenceLRU:

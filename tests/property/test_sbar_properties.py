@@ -6,12 +6,11 @@ from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig
 from repro.core.partial import PartialTagScheme
 from repro.experiments.base import build_l2_policy
+from tests import strategies
 
 CONFIG = CacheConfig(size_bytes=2 * 1024, ways=4, line_bytes=64)  # 8 sets
 
-block_streams = st.lists(
-    st.integers(min_value=0, max_value=250), min_size=1, max_size=400
-)
+block_streams = strategies.block_streams(max_block=250, max_size=400)
 
 
 class TestSbarInvariants:

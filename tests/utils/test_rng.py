@@ -66,3 +66,37 @@ class TestFork:
         b = DeterministicRNG(5)
         a.fork(9)
         assert a.randint(0, 10**6) == b.randint(0, 10**6)
+
+
+class TestStateRoundTrip:
+    def test_restore_resumes_mid_stream(self):
+        rng = DeterministicRNG(42)
+        for _ in range(17):
+            rng.randint(0, 10**6)
+        snapshot = rng.state()
+        expected = [rng.randint(0, 10**6) for _ in range(50)]
+
+        resumed = DeterministicRNG(0)  # wrong seed: state must win
+        resumed.restore(snapshot)
+        assert [resumed.randint(0, 10**6) for _ in range(50)] == expected
+        assert resumed.seed == 42
+
+    def test_state_survives_json(self):
+        import json
+
+        rng = DeterministicRNG(9)
+        for _ in range(5):
+            rng.random()
+        snapshot = json.loads(json.dumps(rng.state()))
+        expected = [rng.random() for _ in range(25)]
+
+        resumed = DeterministicRNG(0)
+        resumed.restore(snapshot)
+        assert [resumed.random() for _ in range(25)] == expected
+
+    def test_state_is_a_snapshot_not_a_view(self):
+        rng = DeterministicRNG(4)
+        snapshot = rng.state()
+        first = rng.choice_index(1000)
+        rng.restore(snapshot)
+        assert rng.choice_index(1000) == first
