@@ -7,12 +7,12 @@ function, SBAR leader count — none of which the paper tunes.
 
 from repro.experiments import ablations
 
-from conftest import SUBSET, run_and_report
+from conftest import run_and_report
 
 
-def test_ablations(benchmark, bench_setup):
+def test_ablations(benchmark, bench_setup, bench_subset):
     def runner():
-        return ablations.run(setup=bench_setup, workloads=SUBSET[:5])
+        return ablations.run(setup=bench_setup, workloads=bench_subset[:5])
 
     result = run_and_report(
         benchmark,

@@ -6,13 +6,13 @@ to 256 entries, with more than half remaining at 256.
 
 from repro.experiments import fig10_store_buffer
 
-from conftest import SUBSET, run_and_report
+from conftest import run_and_report
 
 
-def test_fig10_store_buffer(benchmark, bench_setup):
+def test_fig10_store_buffer(benchmark, bench_setup, bench_subset):
     def runner():
         return fig10_store_buffer.run(
-            setup=bench_setup, workloads=SUBSET,
+            setup=bench_setup, workloads=bench_subset,
             buffer_sizes=(4, 16, 64, 256),
         )
 

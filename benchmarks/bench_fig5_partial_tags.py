@@ -6,12 +6,12 @@ Paper: 6-bit or wider partial tags change average MPKI/CPI by <1%;
 
 from repro.experiments import fig5_partial_tags
 
-from conftest import SUBSET, run_and_report
+from conftest import run_and_report
 
 
-def test_fig5_partial_tags(benchmark, bench_setup):
+def test_fig5_partial_tags(benchmark, bench_setup, bench_subset):
     def runner():
-        return fig5_partial_tags.run(setup=bench_setup, workloads=SUBSET)
+        return fig5_partial_tags.run(setup=bench_setup, workloads=bench_subset)
 
     result = run_and_report(
         benchmark,

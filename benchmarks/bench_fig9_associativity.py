@@ -6,13 +6,13 @@ and increases slightly at high associativity.
 
 from repro.experiments import fig9_associativity
 
-from conftest import SUBSET, run_and_report
+from conftest import run_and_report
 
 
-def test_fig9_associativity(benchmark, bench_setup):
+def test_fig9_associativity(benchmark, bench_setup, bench_subset):
     def runner():
         return fig9_associativity.run(
-            setup=bench_setup, workloads=SUBSET, associativities=(4, 8, 16)
+            setup=bench_setup, workloads=bench_subset, associativities=(4, 8, 16)
         )
 
     result = run_and_report(

@@ -6,12 +6,12 @@ virtually identical to plain LRU/LFU adaptivity.
 
 from repro.experiments import sec44_five_policy
 
-from conftest import SUBSET, run_and_report
+from conftest import run_and_report
 
 
-def test_sec44_five_policy(benchmark, bench_setup):
+def test_sec44_five_policy(benchmark, bench_setup, bench_subset):
     def runner():
-        return sec44_five_policy.run(setup=bench_setup, workloads=SUBSET)
+        return sec44_five_policy.run(setup=bench_setup, workloads=bench_subset)
 
     result = run_and_report(
         benchmark,

@@ -5,12 +5,12 @@ Paper: ~12% I-MPKI reduction for an adaptive L1I, <1% for the L1D.
 
 from repro.experiments import sec46_l1
 
-from conftest import SUBSET, run_and_report
+from conftest import run_and_report
 
 
-def test_sec46_l1(benchmark, bench_setup):
+def test_sec46_l1(benchmark, bench_setup, bench_subset):
     def runner():
-        return sec46_l1.run(setup=bench_setup, workloads=SUBSET)
+        return sec46_l1.run(setup=bench_setup, workloads=bench_subset)
 
     result = run_and_report(
         benchmark,

@@ -6,12 +6,12 @@ adaptive cache's 12.9%, at ~0.16% hardware overhead.
 
 from repro.experiments import sec47_sbar
 
-from conftest import SUBSET, run_and_report
+from conftest import run_and_report
 
 
-def test_sec47_sbar(benchmark, bench_setup):
+def test_sec47_sbar(benchmark, bench_setup, bench_subset):
     def runner():
-        return sec47_sbar.run(setup=bench_setup, workloads=SUBSET,
+        return sec47_sbar.run(setup=bench_setup, workloads=bench_subset,
                               num_leaders=8)
 
     result = run_and_report(

@@ -9,6 +9,12 @@ pytest-benchmark JSON.
 Scale: benches use the ``mini`` setup (16 KB L2) with short traces so
 the whole harness completes in minutes. ``repro-experiments <exp>
 --scale scaled|paper`` regenerates any figure at larger scale.
+
+A common ``--quick`` flag (``pytest benchmarks/ --quick``) shrinks
+every bench further — shorter traces through :func:`bench_setup`, a
+smaller workload slice through :func:`bench_subset` — which is what the
+CI bench-regression job runs; the hot-path gate
+(``benchmarks/bench_hotpath.py``) honours the same flag standalone.
 """
 
 from __future__ import annotations
@@ -19,16 +25,50 @@ from repro.experiments.base import make_setup
 
 BENCH_ACCESSES = 6000
 
+#: --quick trace length: enough to fill the mini cache several times
+#: over, short enough for a CI minute.
+QUICK_ACCESSES = 1500
+
 # A slice of the primary set covering every locality class, used by the
 # parameter-sweep benches where the full 26-program set would be slow.
 SUBSET = ["lucas", "gcc-2", "art-1", "tiff2rgba", "ammp", "mcf", "swim",
           "unepic"]
 
+#: --quick workload slice: one representative per headline behaviour.
+QUICK_SUBSET = ["lucas", "art-1", "ammp", "mcf"]
+
+
+def pytest_addoption(parser):
+    """Register the shared ``--quick`` benchmark flag."""
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink benchmark traces and workload slices (CI mode)",
+    )
+
+
+def is_quick(config) -> bool:
+    """Whether the session runs in ``--quick`` (CI) mode."""
+    return bool(config.getoption("--quick"))
+
 
 @pytest.fixture(scope="session")
-def bench_setup():
+def bench_setup(request):
     """The benchmark-scale setup shared by all figure benches."""
-    return make_setup("mini", accesses=BENCH_ACCESSES)
+    accesses = (
+        QUICK_ACCESSES if is_quick(request.config) else BENCH_ACCESSES
+    )
+    return make_setup("mini", accesses=accesses)
+
+
+@pytest.fixture(scope="session")
+def bench_subset(request):
+    """The workload slice for parameter-sweep benches (smaller under
+    ``--quick``)."""
+    return (
+        list(QUICK_SUBSET) if is_quick(request.config) else list(SUBSET)
+    )
 
 
 def run_and_report(benchmark, runner, label_values):

@@ -47,6 +47,16 @@ class CacheConfig:
                 "address_bits too small for this geometry: "
                 f"{self.address_bits} <= {self.offset_bits + self.index_bits}"
             )
+        # Precomputed address-decomposition constants. The properties
+        # below recompute ilog2/divisions on every call, which is fine
+        # for configuration code but not for the per-access hot path;
+        # the simulator reads these cached values instead (they are not
+        # dataclass fields, so equality/repr/pickling are unaffected).
+        object.__setattr__(self, "_offset_bits", ilog2(self.line_bytes))
+        object.__setattr__(self, "_index_mask", self.num_sets - 1)
+        object.__setattr__(
+            self, "_tag_shift", self._offset_bits + ilog2(self.num_sets)
+        )
 
     @property
     def num_sets(self) -> int:
@@ -75,15 +85,25 @@ class CacheConfig:
 
     def block_address(self, address: int) -> int:
         """Line-granular address (byte address >> offset bits)."""
-        return address >> self.offset_bits
+        return address >> self._offset_bits
 
     def set_index(self, address: int) -> int:
         """Set selected by a byte address."""
-        return (address >> self.offset_bits) & (self.num_sets - 1)
+        return (address >> self._offset_bits) & self._index_mask
 
     def tag(self, address: int) -> int:
         """Full tag of a byte address."""
-        return address >> (self.offset_bits + self.index_bits)
+        return address >> self._tag_shift
+
+    def decomposition(self) -> tuple:
+        """``(offset_bits, index_mask, tag_shift)`` for hot loops.
+
+        Callers that decompose millions of addresses inline these three
+        constants into locals instead of calling :meth:`set_index` /
+        :meth:`tag` per address (see ``SetAssociativeCache.access_many``
+        and the timing model's replay loop).
+        """
+        return self._offset_bits, self._index_mask, self._tag_shift
 
     def rebuild_address(self, tag: int, set_index: int) -> int:
         """Reconstruct the base byte address of a line from tag and set."""

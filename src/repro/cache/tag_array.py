@@ -15,7 +15,6 @@ evaluates in Figure 5 and is deliberately preserved here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.cache.cache_set import CacheSet
@@ -27,7 +26,6 @@ def identity_tag(tag: int) -> int:
     return tag
 
 
-@dataclass(frozen=True)
 class ShadowOutcome:
     """What happened when a reference was replayed into a shadow array.
 
@@ -35,10 +33,37 @@ class ShadowOutcome:
         missed: the component policy's cache would have missed.
         victim_tag: the (transformed) tag the component policy evicted to
             make room, or None (hit, or fill into an empty way).
+
+    A ``__slots__`` class rather than a dataclass: the adaptive policy
+    creates one per component per access, so allocation cost is on the
+    hot path — and hits share a single preallocated instance.
     """
 
-    missed: bool
-    victim_tag: Optional[int] = None
+    __slots__ = ("missed", "victim_tag")
+
+    def __init__(self, missed: bool, victim_tag: Optional[int] = None):
+        self.missed = missed
+        self.victim_tag = victim_tag
+
+    def __repr__(self) -> str:
+        return (
+            f"ShadowOutcome(missed={self.missed}, "
+            f"victim_tag={self.victim_tag})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ShadowOutcome):
+            return NotImplemented
+        return (
+            self.missed == other.missed
+            and self.victim_tag == other.victim_tag
+        )
+
+
+#: Shared outcome for the (dominant) shadow-hit case; never mutated.
+_SHADOW_HIT = ShadowOutcome(missed=False)
+#: Shared outcome for a miss that filled an empty way (no victim).
+_SHADOW_FILL = ShadowOutcome(missed=True)
 
 
 class TagArray:
@@ -65,31 +90,49 @@ class TagArray:
         self.misses = 0
         self.accesses = 0
         self.per_set_misses = [0] * num_sets
+        # Component policies are usually simple ones whose observe() is
+        # the base-class no-op; detect that once and skip the call.
+        self._observe = (
+            None
+            if type(policy).observe is ReplacementPolicy.observe
+            else policy.observe
+        )
+        self._identity = tag_transform is identity_tag
 
     def lookup_update(
         self, set_index: int, full_tag: int, is_write: bool = False
     ) -> ShadowOutcome:
-        """Replay one reference: probe, then update as the policy would."""
-        self.accesses += 1
-        stored = self.tag_transform(full_tag)
-        shadow_set = self.sets[set_index]
-        self.policy.observe(set_index, stored, is_write)
+        """Replay one reference: probe, then update as the policy would.
 
-        way = shadow_set.find(stored)
+        Shadow replays run once per component per access (the adaptive
+        policy's ``observe`` hook), so this is as hot as the real
+        cache's lookup; hit and empty-fill outcomes are shared
+        singletons and the tag transform is skipped for full tags.
+        """
+        self.accesses += 1
+        stored = full_tag if self._identity else self.tag_transform(full_tag)
+        shadow_set = self.sets[set_index]
+        policy = self.policy
+        if self._observe is not None:
+            self._observe(set_index, stored, is_write)
+
+        way = shadow_set._tag_to_way.get(stored)
         if way is not None:
-            self.policy.on_hit(set_index, way)
-            return ShadowOutcome(missed=False)
+            policy.on_hit(set_index, way)
+            return _SHADOW_HIT
 
         self.misses += 1
         self.per_set_misses[set_index] += 1
-        victim_tag = None
-        fill_way = shadow_set.free_way()
-        if fill_way is None:
-            fill_way = self.policy.victim(set_index, shadow_set)
+        if len(shadow_set._tag_to_way) == shadow_set._ways:
+            fill_way = policy.victim(set_index, shadow_set)
             victim_tag, _ = shadow_set.evict(fill_way)
+            outcome = ShadowOutcome(missed=True, victim_tag=victim_tag)
+        else:
+            fill_way = shadow_set.free_way()
+            outcome = _SHADOW_FILL
         shadow_set.install(fill_way, stored)
-        self.policy.on_fill(set_index, fill_way, stored)
-        return ShadowOutcome(missed=True, victim_tag=victim_tag)
+        policy.on_fill(set_index, fill_way, stored)
+        return outcome
 
     def contains_full(self, set_index: int, full_tag: int) -> bool:
         """Would this component cache (appear to) hold ``full_tag``?

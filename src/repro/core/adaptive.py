@@ -96,7 +96,8 @@ class AdaptivePolicy(ReplacementPolicy):
         self.name = "adaptive(" + "+".join(c.name for c in self.components) + ")"
 
         if history_factory is None:
-            history_factory = lambda n: BitVectorHistory(n, window=ways)
+            def history_factory(n):
+                return BitVectorHistory(n, window=ways)
         self.selectors: List[PolicySelector] = [
             PolicySelector(history_factory(len(self.components)))
             for _ in range(num_sets)
@@ -107,6 +108,18 @@ class AdaptivePolicy(ReplacementPolicy):
             for component in self.components
         ]
 
+        # Bound methods of the shadow arrays, hoisted once: observe()
+        # runs every access and pays one replay per component. The
+        # two-component case (the paper's default) is unrolled.
+        self._shadow_lookups = [
+            shadow.lookup_update for shadow in self.shadows
+        ]
+        self._lookup_pair = (
+            tuple(self._shadow_lookups)
+            if len(self._shadow_lookups) == 2
+            else None
+        )
+        self._identity = tag_transform is identity_tag
         self._rng = DeterministicRNG(seed)
         # Recency stamps for the LRU fallback and the imitate-LRU shortcut.
         self._clock = 0
@@ -132,11 +145,18 @@ class AdaptivePolicy(ReplacementPolicy):
         return [selector.history for selector in self.selectors]
 
     def observe(self, set_index: int, tag: int, is_write: bool) -> None:
-        outcomes = [
-            shadow.lookup_update(set_index, tag, is_write)
-            for shadow in self.shadows
-        ]
-        missed = [o.missed for o in outcomes]
+        pair = self._lookup_pair
+        if pair is not None:
+            first = pair[0](set_index, tag, is_write)
+            second = pair[1](set_index, tag, is_write)
+            outcomes = [first, second]
+            missed = [first.missed, second.missed]
+        else:
+            outcomes = [
+                lookup(set_index, tag, is_write)
+                for lookup in self._shadow_lookups
+            ]
+            missed = [o.missed for o in outcomes]
         self.selectors[set_index].record(missed)
         if self.vote_sink is not None:
             self.vote_sink(missed)
@@ -195,17 +215,42 @@ class AdaptivePolicy(ReplacementPolicy):
     def _find_way_by_stored_tag(
         self, set_view: SetView, stored_tag: int
     ) -> Optional[int]:
-        for way in set_view.valid_ways():
-            if self.tag_transform(set_view.tag_at(way)) == stored_tag:
+        # victim() only runs on full sets, where valid_ways() is just
+        # 0..ways-1 in order; skip building the list (and skip the
+        # identity transform for full tags).
+        if set_view.valid_count() == self.ways:
+            ways = range(self.ways)
+        else:
+            ways = set_view.valid_ways()
+        tag_at = set_view.tag_at
+        if self._identity:
+            for way in ways:
+                if tag_at(way) == stored_tag:
+                    return way
+            return None
+        transform = self.tag_transform
+        for way in ways:
+            if transform(tag_at(way)) == stored_tag:
                 return way
         return None
 
     def _find_way_not_in_shadow(
         self, set_index: int, set_view: SetView, shadow: TagArray
     ) -> Optional[int]:
-        for way in set_view.valid_ways():
-            stored = self.tag_transform(set_view.tag_at(way))
-            if not shadow.contains_stored(set_index, stored):
+        if set_view.valid_count() == self.ways:
+            ways = range(self.ways)
+        else:
+            ways = set_view.valid_ways()
+        tag_at = set_view.tag_at
+        resident = shadow.sets[set_index]._tag_to_way
+        if self._identity:
+            for way in ways:
+                if tag_at(way) not in resident:
+                    return way
+            return None
+        transform = self.tag_transform
+        for way in ways:
+            if transform(tag_at(way)) not in resident:
                 return way
         return None
 

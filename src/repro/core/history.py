@@ -109,6 +109,13 @@ class CounterHistory(MissHistory):
     def misses(self, component: int) -> int:
         return self._counts[component]
 
+    def best_component(self) -> int:
+        """Component with the fewest recorded misses; ties favour the
+        lower index. Direct-on-counts override of the generic scan (the
+        adaptive policy asks on every real miss)."""
+        counts = self._counts
+        return counts.index(min(counts))
+
     def clear(self) -> None:
         self._counts = [0] * self.num_components
 
@@ -138,6 +145,12 @@ class SaturatingCounterHistory(MissHistory):
 
     def misses(self, component: int) -> int:
         return self._counts[component]
+
+    def best_component(self) -> int:
+        """Component with the fewest recorded misses; ties favour the
+        lower index. Direct-on-counts override of the generic scan."""
+        counts = self._counts
+        return counts.index(min(counts))
 
     def clear(self) -> None:
         self._counts = [0] * self.num_components
@@ -175,6 +188,12 @@ class BitVectorHistory(MissHistory):
 
     def misses(self, component: int) -> int:
         return self._counts[component]
+
+    def best_component(self) -> int:
+        """Component with the fewest window misses; ties favour the
+        lower index. Direct-on-counts override of the generic scan."""
+        counts = self._counts
+        return counts.index(min(counts))
 
     def clear(self) -> None:
         self._events.clear()

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.utils.bitops import low_bits, xor_fold
-
 
 @dataclass(frozen=True)
 class PartialTagScheme:
@@ -34,11 +32,24 @@ class PartialTagScheme:
             raise ValueError(f"partial tag width must be positive, got {self.bits}")
         if self.method not in ("low", "xor"):
             raise ValueError(f"unknown partial tag method {self.method!r}")
+        # The transform runs once per shadow array per access, so the
+        # fold is precomputed: a cached width mask and a method flag
+        # replace the per-call mask construction and string compare
+        # (not dataclass fields — equality/hash/pickle are unchanged).
+        object.__setattr__(self, "_mask", (1 << self.bits) - 1)
+        object.__setattr__(self, "_is_low", self.method == "low")
 
     def __call__(self, tag: int) -> int:
-        if self.method == "low":
-            return low_bits(tag, self.bits)
-        return xor_fold(tag, self.bits)
+        if self._is_low:
+            return tag & self._mask
+        folded = 0
+        bits = self.bits
+        mask_ = self._mask
+        remaining = tag & ((1 << 64) - 1)
+        while remaining:
+            folded ^= remaining & mask_
+            remaining >>= bits
+        return folded
 
 
 def full_tags(tag: int) -> int:

@@ -96,7 +96,8 @@ class SbarPolicy(ReplacementPolicy):
             for component in shadow_components
         ]
         if history_factory is None:
-            history_factory = lambda n: BitVectorHistory(n, window=ways)
+            def history_factory(n):
+                return BitVectorHistory(n, window=ways)
         self.histories = [history_factory(2) for _ in range(num_leaders)]
 
         self.selector = GlobalSelector(psel_bits)

@@ -109,33 +109,48 @@ def compile_workload(trace: Trace, config: ProcessorConfig) -> CompiledWorkload:
     btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
 
     compiled = CompiledWorkload(name=trace.name, instructions=trace.instruction_count)
-    records = compiled.l2_records
+    # The compile pass walks every record of the full trace; bind the
+    # per-record calls and counters to locals (the counters are written
+    # back once at the end).
+    records_append = compiled.l2_records.append
+    l1_access = l1.access
+    predictor_update = predictor.update
+    btb_lookup = btb.lookup_update
+    rebuild_address = l1_config.rebuild_address
+    branch_mispredicts = 0
+    btb_misses = 0
+    branches = 0
+    l1_hits = 0
+    l1_misses = 0
     pending_insts = 0
     for kind, address, gap in trace.records:
         pending_insts += gap
         if kind >= KIND_BRANCH_TAKEN:
             taken = kind == KIND_BRANCH_TAKEN
-            if not predictor.update(address, taken):
-                compiled.branch_mispredicts += 1
-            if taken and not btb.lookup_update(address):
-                compiled.btb_misses += 1
-            compiled.branches += 1
+            if not predictor_update(address, taken):
+                branch_mispredicts += 1
+            if taken and not btb_lookup(address):
+                btb_misses += 1
+            branches += 1
             pending_insts += 1
             continue
-        result = l1.access(address, is_write=(kind == KIND_STORE))
+        result = l1_access(address, is_write=(kind == KIND_STORE))
         if result.hit:
-            compiled.l1_hits += 1
+            l1_hits += 1
             pending_insts += 1
             continue
-        compiled.l1_misses += 1
+        l1_misses += 1
         l2_kind = L2_STORE if kind == KIND_STORE else L2_LOAD
-        records.append((pending_insts, l2_kind, address))
+        records_append((pending_insts, l2_kind, address))
         pending_insts = 0
         if result.writeback:
-            wb_address = l1_config.rebuild_address(
-                result.evicted_tag, result.set_index
-            )
-            records.append((0, L2_WRITEBACK, wb_address))
+            wb_address = rebuild_address(result.evicted_tag, result.set_index)
+            records_append((0, L2_WRITEBACK, wb_address))
+    compiled.branch_mispredicts = branch_mispredicts
+    compiled.btb_misses = btb_misses
+    compiled.branches = branches
+    compiled.l1_hits = l1_hits
+    compiled.l1_misses = l1_misses
     compiled.tail_instructions = pending_insts
     return compiled
 
@@ -152,6 +167,10 @@ def simulate(
     miss_latency = l2_hit_latency + config.miss_penalty
     hit_stall = l2_hit_latency * config.l2_hit_stall_factor
     offset_bits = l2.config.offset_bits
+    # Decompose L2 addresses here and call the pre-decomposed entry
+    # point: the replay loop is the experiments' inner loop.
+    l2_offset_bits, l2_index_mask, l2_tag_shift = l2.config.decomposition()
+    l2_access = l2.access_decomposed
 
     now = 0.0
     run_ahead = 0
@@ -186,7 +205,11 @@ def simulate(
             advance(gap)
         else:
             advance(gap + 1)
-        result = l2.access(address, is_write=(kind != L2_LOAD))
+        result = l2_access(
+            (address >> l2_offset_bits) & l2_index_mask,
+            address >> l2_tag_shift,
+            kind != L2_LOAD,
+        )
         accesses += 1
         latency = l2_hit_latency if result.hit else miss_latency
         if not result.hit:

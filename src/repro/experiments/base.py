@@ -219,6 +219,7 @@ def run_policy_sweep(
     policy_specs: Dict[str, dict],
     processor: Optional[ProcessorConfig] = None,
     l2_config: Optional[CacheConfig] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, TimingResult]]:
     """Simulate every (workload, policy spec) pair.
 
@@ -226,13 +227,30 @@ def run_policy_sweep(
     e.g. ``{"Adaptive": {"policy_kind": "adaptive"}, "LRU":
     {"policy_kind": "lru"}}``. Returns ``{workload: {label: result}}``.
 
+    ``workers`` above 1 (explicitly, or process-wide via
+    :func:`repro.perf.parallel.set_default_workers` — the CLI's
+    ``--workers`` flag) fans the cells out over worker processes; every
+    cell is a deterministic function of its coordinates, so the merged
+    results are byte-identical to the serial loop's.
+
     When a sweep checkpoint is active (see
     :func:`repro.experiments.checkpoint.active_checkpoint`), each
     completed (workload, label) cell is persisted as it finishes and
     already-recorded cells are restored instead of resimulated — this
     is what lets an interrupted ``repro-experiments all`` sweep resume
-    from where it died.
+    from where it died, serial or parallel, under any worker count.
     """
+    from repro.perf import parallel as perf_parallel
+
+    effective = (
+        workers if workers is not None
+        else perf_parallel.get_default_workers()
+    )
+    if effective > 1:
+        return perf_parallel.parallel_policy_sweep(
+            cache, workloads, policy_specs, workers=effective,
+            processor=processor, l2_config=l2_config,
+        )
     entry = checkpoint_mod.active()
     results: Dict[str, Dict[str, TimingResult]] = {}
     for name in workloads:

@@ -129,6 +129,14 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--workers``: an integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-experiments argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -139,11 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "policies", "golden"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "report", "policies", "golden", "perf"],
         help="which table/figure to regenerate ('report' writes a "
         "markdown report of everything; 'policies' lists the "
         "registered replacement policies; 'golden' checks or "
-        "regenerates the pinned golden-trace digests)",
+        "regenerates the pinned golden-trace digests; 'perf' "
+        "benchmarks the hot path and sweep and writes BENCH_perf.json)",
     )
     parser.add_argument(
         "--out",
@@ -230,6 +240,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache built traces as .npz files in DIR; corrupt or "
         "truncated entries are detected and regenerated",
     )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for policy sweeps (default 1 = serial; "
+        "results are byte-identical at any worker count)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="with 'perf': shorter streams and a smaller sweep (CI mode)",
+    )
+    parser.add_argument(
+        "--perf-out",
+        default="BENCH_perf.json",
+        metavar="PATH",
+        help="with 'perf': where to write the benchmark report JSON",
+    )
     return parser
 
 
@@ -302,6 +331,19 @@ def _run_golden(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _run_perf(args: argparse.Namespace) -> int:
+    """Benchmark the hot path and sweep; write the report JSON."""
+    from repro.perf.bench import render_perf, run_perf
+
+    workers_counts = (1, args.workers) if args.workers > 1 else (1, 4)
+    report = run_perf(
+        path=args.perf_out, quick=args.quick, workers_counts=workers_counts
+    )
+    print(render_perf(report))
+    print(f"wrote {args.perf_out}")
+    return 0
+
+
 def _run_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
     from repro.utils.atomicio import atomic_write_text
@@ -329,6 +371,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.trace_cache:
         base.set_default_trace_dir(args.trace_cache)
+    if args.workers > 1:
+        from repro.perf.parallel import set_default_workers
+
+        set_default_workers(args.workers)
     try:
         if args.experiment == "policies":
             return _run_policies()
@@ -336,10 +382,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_report(args)
         if args.experiment == "golden":
             return _run_golden(args)
+        if args.experiment == "perf":
+            return _run_perf(args)
         return _run_experiments(args)
     finally:
         if args.trace_cache:
             base.set_default_trace_dir(None)
+        if args.workers > 1:
+            from repro.perf.parallel import set_default_workers
+
+            set_default_workers(1)
 
 
 def _run_experiments(args: argparse.Namespace) -> int:

@@ -16,7 +16,6 @@ from repro.analysis.metrics import arithmetic_mean, percent_reduction
 from repro.cache.cache import SetAssociativeCache
 from repro.experiments.base import ExperimentResult, Setup, build_l2_policy, make_setup
 from repro.workloads.multicore import build_shared_workload
-from repro.workloads.trace import KIND_STORE
 
 # Dissimilar pairs: one recency-friendly core + one frequency/loop core.
 DEFAULT_PAIRS: List[Tuple[str, str]] = [
@@ -31,8 +30,8 @@ DEFAULT_PAIRS: List[Tuple[str, str]] = [
 def _misses(trace, config, policy_kind: str) -> int:
     policy = build_l2_policy(config, policy_kind)
     cache = SetAssociativeCache(config, policy)
-    for kind, address, _gap in trace.memory_records():
-        cache.access(address, is_write=(kind == KIND_STORE))
+    addresses, writes = trace.memory_stream()
+    cache.access_many(addresses, writes)
     return cache.stats.misses
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.setmap import SetMap, collect_setmap
+from repro.analysis.setmap import collect_setmap
 from repro.cache.cache import SetAssociativeCache
 from repro.core.multi import make_adaptive
 from repro.experiments.base import ExperimentResult, Setup, WorkloadCache, make_setup

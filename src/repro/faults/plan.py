@@ -16,7 +16,7 @@ the right block.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 SITE_SHADOW_TAGS = "shadow-tags"

@@ -181,6 +181,30 @@ class AdaptiveKVCache:
         """Value stored under ``key``, or ``default`` on a miss."""
         return self._shard_for(key).get(key, default)
 
+    def get_many(self, keys, default=None) -> list:
+        """Batched :meth:`get` over a sequence of keys.
+
+        Keys are grouped by shard (preserving per-shard key order, so
+        each shard's policy sees exactly the event stream it would see
+        from sequential gets) and each group is served under a single
+        lock acquisition via :meth:`CacheShard.get_many`. Values come
+        back in the original key order, ``default`` for misses.
+        """
+        keys = list(keys)
+        num_shards = self.num_shards
+        groups: dict = {}
+        for position, key in enumerate(keys):
+            shard_index = shard_of(key_fingerprint(key), num_shards)
+            groups.setdefault(shard_index, []).append(position)
+        out = [default] * len(keys)
+        for shard_index, positions in groups.items():
+            values = self.shards[shard_index].get_many(
+                [keys[p] for p in positions], default
+            )
+            for position, value in zip(positions, values):
+                out[position] = value
+        return out
+
     def put(self, key, value, ttl: Optional[float] = None,
             size: Optional[int] = None) -> None:
         """Store ``value`` under ``key`` (insert or overwrite).

@@ -67,6 +67,14 @@ class ShardView(SetView):
         """Ways currently holding entries."""
         return [w for w, e in enumerate(self._slots) if e is not None]
 
+    def valid_count(self) -> int:
+        """Number of occupied ways (no list materialisation)."""
+        count = 0
+        for entry in self._slots:
+            if entry is not None:
+                count += 1
+        return count
+
 
 class _ProtectedView(SetView):
     """A view that hides one way from the policy (internal).
@@ -88,6 +96,11 @@ class _ProtectedView(SetView):
 
     def valid_ways(self) -> Sequence[int]:
         return [w for w in self._inner.valid_ways() if w != self._protected]
+
+    def valid_count(self) -> int:
+        """One fewer than the inner view: the protected way (the entry
+        just written) is always valid."""
+        return self._inner.valid_count() - 1
 
 
 class CacheShard:
@@ -169,6 +182,38 @@ class CacheShard:
             self.hits += 1
             self.policy.on_hit(0, way)
             return entry.value
+
+    def get_many(self, keys, default=None) -> list:
+        """Batched :meth:`get`: one lock acquisition for the whole batch.
+
+        Decision-identical to calling :meth:`get` per key in order —
+        the policy sees the same event stream — but amortises the lock
+        round-trip and per-call overhead, which is what makes bulk
+        replays (the online experiment, the hot-path benchmark) cheap.
+
+        Returns:
+            Values in key order, ``default`` for misses.
+        """
+        key_fp = key_fingerprint
+        out = []
+        append = out.append
+        with self._lock:
+            policy = self.policy
+            observe = policy.observe
+            on_hit = policy.on_hit
+            live = self._live_entry
+            for key in keys:
+                self.gets += 1
+                observe(0, key_fp(key), False)
+                entry, way = live(key)
+                if entry is None:
+                    self.misses += 1
+                    append(default)
+                else:
+                    self.hits += 1
+                    on_hit(0, way)
+                    append(entry.value)
+        return out
 
     def get_or_compute(self, key, compute, ttl: Optional[float] = None):
         """Return the cached value, computing and inserting on a miss.

@@ -28,12 +28,10 @@ import pathlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.config import CacheConfig
 from repro.core.adaptive import AdaptivePolicy
 from repro.experiments.base import build_l2_policy, make_setup
 from repro.utils.atomicio import atomic_write_text
 from repro.workloads.suite import build_workload
-from repro.workloads.trace import KIND_STORE
 
 #: Scale and trace length the digests are pinned at (small on purpose —
 #: the digest guards decisions, not performance claims).
@@ -63,8 +61,8 @@ def _digest_one(workload: str, policy_kind: str) -> Dict:
     trace = build_workload(workload, setup.l2, accesses=GOLDEN_ACCESSES)
     policy = build_l2_policy(setup.l2, policy_kind)
     cache = SetAssociativeCache(setup.l2, policy)
-    for kind, address, _gap in trace.memory_records():
-        cache.access(address, is_write=kind == KIND_STORE)
+    addresses, writes = trace.memory_stream()
+    cache.access_many(addresses, writes)
 
     stats = cache.stats
     kilo_instructions = trace.instruction_count / 1000.0

@@ -1,0 +1,33 @@
+"""Performance infrastructure: parallel sweeps and benchmarks.
+
+``repro.perf`` is the speed layer of the reproduction:
+
+* :mod:`repro.perf.parallel` — a process-parallel sweep executor
+  (:class:`~repro.perf.parallel.ParallelRunner`) layered on the same
+  crash-isolated cells as the serial runner, producing byte-identical
+  results in deterministic order and sharing the serial path's
+  checkpoint/resume format.
+* :mod:`repro.perf.bench` — the ``repro-experiments perf`` benchmark:
+  hot-path accesses/sec and sweep wall-clock, recorded to
+  ``BENCH_perf.json``.
+
+The hot-path kernel itself lives where it always did
+(:mod:`repro.cache.cache`, :mod:`repro.policies`); docs/performance.md
+describes the optimizations and the decision-identity argument.
+"""
+
+from repro.perf.bench import run_perf
+from repro.perf.parallel import (
+    ParallelRunner,
+    get_default_workers,
+    parallel_policy_sweep,
+    set_default_workers,
+)
+
+__all__ = [
+    "ParallelRunner",
+    "get_default_workers",
+    "parallel_policy_sweep",
+    "run_perf",
+    "set_default_workers",
+]

@@ -8,25 +8,67 @@ from repro.policies.base import ReplacementPolicy, SetView
 class FIFOPolicy(ReplacementPolicy):
     """FIFO: evict the valid block that was *installed* longest ago.
 
-    Identical bookkeeping to LRU except that hits do not refresh the
-    stamp, so a block's priority is fixed at fill time.
+    Fill order is an intrusive doubly-linked list per set (same scheme
+    as :class:`~repro.policies.lru.LRUPolicy`), except that hits do not
+    move a way — a block's position is fixed at fill time. The victim
+    of a full set is the list head in O(1).
     """
 
     name = "fifo"
 
     def __init__(self, num_sets: int, ways: int):
         super().__init__(num_sets, ways)
-        self._clock = 0
-        self._fill_stamp = [[0] * ways for _ in range(num_sets)]
+        # Sentinel index ``ways``; prev == -1 marks an unlinked way.
+        self._nxt = [[0] * (ways + 1) for _ in range(num_sets)]
+        self._prv = [[0] * (ways + 1) for _ in range(num_sets)]
+        for nxt, prv in zip(self._nxt, self._prv):
+            nxt[ways] = ways
+            prv[ways] = ways
+            for way in range(ways):
+                prv[way] = -1
 
     def on_hit(self, set_index: int, way: int) -> None:
         self._check_slot(set_index, way)
 
     def on_fill(self, set_index: int, way: int, tag: int) -> None:
         self._check_slot(set_index, way)
-        self._clock += 1
-        self._fill_stamp[set_index][way] = self._clock
+        nxt = self._nxt[set_index]
+        prv = self._prv[set_index]
+        sentinel = self.ways
+        before = prv[way]
+        if before != -1:
+            after = nxt[way]
+            nxt[before] = after
+            prv[after] = before
+        tail = prv[sentinel]
+        nxt[tail] = way
+        prv[way] = tail
+        nxt[way] = sentinel
+        prv[sentinel] = way
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """Unlink an invalidated way so it cannot surface as a victim."""
+        self._check_slot(set_index, way)
+        prv = self._prv[set_index]
+        before = prv[way]
+        if before == -1:
+            return
+        nxt = self._nxt[set_index]
+        after = nxt[way]
+        nxt[before] = after
+        prv[after] = before
+        prv[way] = -1
 
     def victim(self, set_index: int, set_view: SetView) -> int:
-        stamps = self._fill_stamp[set_index]
-        return min(set_view.valid_ways(), key=stamps.__getitem__)
+        nxt = self._nxt[set_index]
+        head = nxt[self.ways]
+        if set_view.valid_count() == self.ways:
+            return head
+        allowed = set(set_view.valid_ways())
+        way = head
+        sentinel = self.ways
+        while way != sentinel:
+            if way in allowed:
+                return way
+            way = nxt[way]
+        raise ValueError("victim() called on a view with no valid ways")

@@ -52,6 +52,14 @@ class LFUPolicy(ReplacementPolicy):
     def victim(self, set_index: int, set_view: SetView) -> int:
         counts = self._count[set_index]
         stamps = self._fill_stamp[set_index]
+        if set_view.valid_count() == self.ways:
+            # Full set (the overwhelmingly common case — the cache only
+            # asks for victims on full sets): tuple-compare in C. Fill
+            # stamps are globally unique, so the comparison never falls
+            # through to the way index and the result is identical to
+            # the keyed min over (count, stamp).
+            _, _, way = min(zip(counts, stamps, range(self.ways)))
+            return way
         return min(
             set_view.valid_ways(),
             key=lambda way: (counts[way], stamps[way]),

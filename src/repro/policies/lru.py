@@ -8,22 +8,46 @@ from repro.policies.base import ReplacementPolicy, SetView
 class LRUPolicy(ReplacementPolicy):
     """Classic LRU: evict the valid block touched longest ago.
 
-    Recency is tracked with a monotonically increasing per-cache stamp;
-    both hits and fills refresh a block's stamp. Victim selection scans
-    the (small) set for the minimum stamp, which matches how hardware
-    recency state is consulted and keeps hits O(1).
+    Recency is an intrusive doubly-linked list per set, threaded through
+    way indices with a sentinel node: hits and fills move a way to the
+    MRU end in O(1), and the victim of a full set is simply the list
+    head — no per-eviction scan over stamps. The order produced is
+    identical to the textbook monotonic-stamp formulation (ways sorted
+    by last-touch time), which is what the differential oracle's LRU
+    spec checks decision-for-decision.
     """
 
     name = "lru"
 
     def __init__(self, num_sets: int, ways: int):
         super().__init__(num_sets, ways)
-        self._clock = 0
-        self._stamp = [[0] * ways for _ in range(num_sets)]
+        # Per set: next/prev way indices with sentinel index ``ways``.
+        # prev == -1 marks a way not currently linked (never filled, or
+        # invalidated). An empty list has the sentinel pointing at
+        # itself.
+        self._nxt = [[0] * (ways + 1) for _ in range(num_sets)]
+        self._prv = [[0] * (ways + 1) for _ in range(num_sets)]
+        for nxt, prv in zip(self._nxt, self._prv):
+            nxt[ways] = ways
+            prv[ways] = ways
+            for way in range(ways):
+                prv[way] = -1
 
     def _touch(self, set_index: int, way: int) -> None:
-        self._clock += 1
-        self._stamp[set_index][way] = self._clock
+        """Move ``way`` to the MRU (tail) end, linking it if needed."""
+        nxt = self._nxt[set_index]
+        prv = self._prv[set_index]
+        sentinel = self.ways
+        before = prv[way]
+        if before != -1:
+            after = nxt[way]
+            nxt[before] = after
+            prv[after] = before
+        tail = prv[sentinel]
+        nxt[tail] = way
+        prv[way] = tail
+        nxt[way] = sentinel
+        prv[sentinel] = way
 
     def on_hit(self, set_index: int, way: int) -> None:
         self._check_slot(set_index, way)
@@ -33,9 +57,35 @@ class LRUPolicy(ReplacementPolicy):
         self._check_slot(set_index, way)
         self._touch(set_index, way)
 
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """Unlink an invalidated way so it cannot surface as a victim."""
+        self._check_slot(set_index, way)
+        prv = self._prv[set_index]
+        before = prv[way]
+        if before == -1:
+            return
+        nxt = self._nxt[set_index]
+        after = nxt[way]
+        nxt[before] = after
+        prv[after] = before
+        prv[way] = -1
+
     def victim(self, set_index: int, set_view: SetView) -> int:
-        stamps = self._stamp[set_index]
-        return min(set_view.valid_ways(), key=stamps.__getitem__)
+        nxt = self._nxt[set_index]
+        head = nxt[self.ways]
+        if set_view.valid_count() == self.ways:
+            # Full set (the cache's guarantee): the LRU-most way.
+            return head
+        # Restricted view (e.g. a shard protecting the entry just
+        # written): oldest linked way the view still exposes.
+        allowed = set(set_view.valid_ways())
+        way = head
+        sentinel = self.ways
+        while way != sentinel:
+            if way in allowed:
+                return way
+            way = nxt[way]
+        raise ValueError("victim() called on a view with no valid ways")
 
     def recency_order(self, set_index: int, set_view: SetView) -> list:
         """Ways of the set ordered least- to most-recently used.
@@ -43,5 +93,13 @@ class LRUPolicy(ReplacementPolicy):
         Exposed for the adaptive policy's "keep a recency order" shortcut
         (Section 3.3) and for tests of the LRU stack property.
         """
-        stamps = self._stamp[set_index]
-        return sorted(set_view.valid_ways(), key=stamps.__getitem__)
+        nxt = self._nxt[set_index]
+        sentinel = self.ways
+        allowed = set(set_view.valid_ways())
+        order = []
+        way = nxt[sentinel]
+        while way != sentinel:
+            if way in allowed:
+                order.append(way)
+            way = nxt[way]
+        return order

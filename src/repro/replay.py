@@ -25,7 +25,7 @@ from repro.cpu.timing import compile_workload, simulate
 from repro.experiments.base import build_l2_policy
 from repro.workloads.io import load_trace
 from repro.workloads.suite import build_workload
-from repro.workloads.trace import KIND_STORE, Trace
+from repro.workloads.trace import Trace
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,8 +87,8 @@ def _compare(args: argparse.Namespace, trace: Trace,
             partial_bits=args.partial_bits, num_leaders=args.leaders,
         )
         cache = SetAssociativeCache(config, policy)
-        for record_kind, address, _gap in trace.memory_records():
-            cache.access(address, is_write=(record_kind == KIND_STORE))
+        addresses, writes = trace.memory_stream()
+        cache.access_many(addresses, writes)
         stats = cache.stats
         rows.append([
             policy.name,
@@ -156,8 +156,8 @@ def run_replay(args: argparse.Namespace) -> str:
         for component, cycles in sorted(result.breakdown.items()):
             lines.append(f"  {component:12s} {cycles:14.0f} cycles")
     else:
-        for kind, address, _gap in trace.memory_records():
-            cache.access(address, is_write=(kind == KIND_STORE))
+        addresses, writes = trace.memory_stream()
+        cache.access_many(addresses, writes)
         stats = cache.stats
         lines.append(
             f"result: {stats.misses} misses / {stats.accesses} accesses "

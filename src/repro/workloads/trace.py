@@ -55,6 +55,21 @@ class Trace:
         """Only the branch records, in order."""
         return (r for r in self.records if r[0] >= KIND_BRANCH_TAKEN)
 
+    def memory_stream(self) -> Tuple[List[int], List[bool]]:
+        """Addresses and write flags of the load/store records, in order.
+
+        The shape :meth:`~repro.cache.cache.SetAssociativeCache.access_many`
+        consumes; replay loops that only need aggregate statistics
+        extract the stream once and hand it to the batched entry point.
+        """
+        addresses: List[int] = []
+        writes: List[bool] = []
+        for kind, address, _gap in self.records:
+            if kind <= KIND_STORE:
+                addresses.append(address)
+                writes.append(kind == KIND_STORE)
+        return addresses, writes
+
     def memory_access_count(self) -> int:
         """Number of load/store records."""
         return sum(1 for r in self.records if r[0] <= KIND_STORE)

@@ -35,7 +35,8 @@ class TestResultToMarkdown:
     def test_divider_width(self):
         text = result_to_markdown(sample_result())
         divider = [
-            l for l in text.splitlines() if l and set(l) <= set("|- ")
+            line for line in text.splitlines()
+            if line and set(line) <= set("|- ")
         ][0]
         assert divider.count("---") == 3
 

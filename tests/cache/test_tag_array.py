@@ -1,7 +1,5 @@
 """Unit tests for the shadow TagArray (parallel tag structures)."""
 
-import random
-
 import pytest
 
 from repro.cache.cache import SetAssociativeCache

@@ -1,7 +1,6 @@
 """Unit tests for sweep checkpointing and resume."""
 
 import json
-import os
 
 import pytest
 

@@ -16,6 +16,7 @@ class TestDocsExist:
             "api.md",
             "extending-policies.md",
             "online.md",
+            "performance.md",
             "reproducing.md",
             "robustness.md",
             "testing.md",
@@ -62,6 +63,7 @@ class TestDocsReferenceRealCode:
         import repro.faults
         import repro.online
         import repro.oracle
+        import repro.perf
         import repro.policies
         import repro.prefetch
         import repro.workloads
@@ -74,7 +76,7 @@ class TestDocsReferenceRealCode:
             repro.workloads, repro.analysis, repro.prefetch,
             repro.experiments, repro.experiments.runner,
             repro.experiments.checkpoint, repro.faults, repro.online,
-            repro.oracle,
+            repro.oracle, repro.perf,
         ]
         for symbol in symbols:
             assert any(hasattr(ns, symbol) for ns in namespaces), symbol

@@ -1,0 +1,84 @@
+"""Decision-identity tests for the batched online-get entry points.
+
+``CacheShard.get_many`` / ``AdaptiveKVCache.get_many`` promise the
+policy sees exactly the event stream sequential ``get`` calls produce;
+these tests replay identical workloads through both paths and compare
+values, hit/miss counters and subsequent eviction behaviour.
+"""
+
+from repro.online.engine import AdaptiveKVCache
+from repro.online.policies import build_shard_policy
+from repro.online.shard import CacheShard
+from repro.utils.rng import DeterministicRNG
+
+
+def keys_stream(n=400, universe=60, seed=3):
+    rng = DeterministicRNG(seed)
+    return [f"k{int(rng.random() * universe)}" for _ in range(n)]
+
+
+def build_shard(capacity=16, kind="adaptive", **kwargs):
+    return CacheShard(capacity, build_shard_policy(kind, capacity), **kwargs)
+
+
+class TestShardGetMany:
+    def test_matches_sequential_gets(self):
+        keys = keys_stream()
+        sequential = build_shard()
+        batched = build_shard()
+        for key in keys[:100]:
+            sequential.put(key, key.upper())
+            batched.put(key, key.upper())
+
+        expected = [sequential.get(key, "MISS") for key in keys]
+        got = batched.get_many(keys, default="MISS")
+        assert got == expected
+        assert batched.gets == sequential.gets
+        assert (batched.hits, batched.misses) == (
+            sequential.hits, sequential.misses
+        )
+
+    def test_policy_state_identical_after_batch(self):
+        """Post-batch evictions prove the policy saw the same stream:
+        the next victims match the sequential shard's."""
+        keys = keys_stream(n=300, universe=30)
+        sequential = build_shard(capacity=8)
+        batched = build_shard(capacity=8)
+        for shard in (sequential, batched):
+            for i in range(8):
+                shard.put(f"seed{i}", i)
+        for key in keys:
+            sequential.get(key)
+        batched.get_many(keys)
+        for i in range(20):
+            sequential.put(f"new{i}", i)
+            batched.put(f"new{i}", i)
+        assert sorted(sequential.resident_keys()) == sorted(
+            batched.resident_keys()
+        )
+
+    def test_empty_batch(self):
+        shard = build_shard()
+        assert shard.get_many([]) == []
+        assert shard.gets == 0
+
+
+class TestEngineGetMany:
+    def test_matches_sequential_gets_across_shards(self):
+        keys = keys_stream(n=500, universe=80, seed=9)
+        sequential = AdaptiveKVCache(capacity_entries=64, num_shards=4)
+        batched = AdaptiveKVCache(capacity_entries=64, num_shards=4)
+        for key in keys[:150]:
+            sequential.put(key, len(key))
+            batched.put(key, len(key))
+
+        expected = [sequential.get(key) for key in keys]
+        assert batched.get_many(keys) == expected
+
+    def test_preserves_original_key_order(self):
+        cache = AdaptiveKVCache(capacity_entries=32, num_shards=4)
+        keys = [f"key-{i}" for i in range(20)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        values = cache.get_many(keys + ["absent"], default=-1)
+        assert values == list(range(20)) + [-1]

@@ -1,0 +1,1 @@
+"""Tests for the repro.perf parallel-sweep and benchmark subsystem."""

@@ -1,0 +1,189 @@
+"""Unit tests for the process-parallel sweep executor.
+
+The contract under test is the module's headline claim: a parallel
+sweep is *byte-identical* to the serial loop — same cells, same
+checkpoint keys, same merged ordering — while surviving worker-pool
+crashes and resuming mid-sweep under a different worker count.
+
+Scales are deliberately tiny (hundreds of accesses, two workloads) so
+the real-process tests stay fast on a single-core CI box.
+"""
+
+import pytest
+
+from repro.experiments import checkpoint as checkpoint_mod
+from repro.experiments.base import WorkloadCache, make_setup, run_policy_sweep
+from repro.experiments.checkpoint import (
+    SweepCheckpoint,
+    active_checkpoint,
+    timing_to_dict,
+)
+from repro.perf import parallel as parallel_mod
+from repro.perf.parallel import (
+    ParallelRunner,
+    get_default_workers,
+    parallel_policy_sweep,
+    recommended_workers,
+    set_default_workers,
+)
+
+WORKLOADS = ["lucas", "art-1"]
+SPECS = {
+    "LRU": {"policy_kind": "lru"},
+    "Adaptive": {"policy_kind": "adaptive"},
+}
+ACCESSES = 800
+
+
+def serialize(sweep):
+    """Checkpoint-format dump of a sweep result, for exact comparison."""
+    return {
+        name: {label: timing_to_dict(cell) for label, cell in row.items()}
+        for name, row in sweep.items()
+    }
+
+
+def fresh_cache():
+    return WorkloadCache(make_setup("mini", accesses=ACCESSES))
+
+
+class _BrokenPool:
+    """Stand-in executor whose construction always dies like a crashed
+    worker pool, forcing ParallelRunner down its restart/fallback path."""
+
+    def __init__(self, *args, **kwargs):
+        raise parallel_mod.BrokenProcessPool("pool crashed")
+
+
+@pytest.fixture
+def broken_pool(monkeypatch):
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _BrokenPool)
+
+
+class TestDefaultWorkers:
+    def test_roundtrip(self):
+        assert get_default_workers() == 1
+        set_default_workers(3)
+        try:
+            assert get_default_workers() == 3
+        finally:
+            set_default_workers(1)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            set_default_workers(0)
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)
+
+    def test_recommended_workers_positive(self):
+        assert recommended_workers() >= 1
+
+
+class TestByteEquality:
+    def test_parallel_matches_serial(self):
+        """The headline guarantee: workers=2 over real processes yields
+        exactly the serial loop's cells, in the caller's order."""
+        serial = run_policy_sweep(fresh_cache(), WORKLOADS, SPECS)
+        parallel = run_policy_sweep(fresh_cache(), WORKLOADS, SPECS, workers=2)
+        assert serialize(parallel) == serialize(serial)
+        assert list(parallel) == WORKLOADS
+        for row in parallel.values():
+            assert list(row) == list(SPECS)
+
+    def test_default_workers_routes_to_parallel(self, broken_pool):
+        """run_policy_sweep with no explicit workers honours the
+        process-wide default; the broken pool proves the parallel path
+        actually ran (its fallback still produces correct cells)."""
+        serial = run_policy_sweep(fresh_cache(), WORKLOADS[:1], SPECS)
+        set_default_workers(2)
+        try:
+            routed = run_policy_sweep(fresh_cache(), WORKLOADS[:1], SPECS)
+        finally:
+            set_default_workers(1)
+        assert serialize(routed) == serialize(serial)
+
+
+class TestCrashRecovery:
+    def test_broken_pool_falls_back_in_process(self, broken_pool):
+        """Restarts exhaust, then tasks complete in-process — the sweep
+        still terminates with correct results."""
+        runner = ParallelRunner(workers=2, max_pool_restarts=2)
+        result = runner.run_sweep(fresh_cache(), WORKLOADS[:1], SPECS)
+        assert runner.pool_restarts == 2
+        assert runner.fallback_tasks == 1  # one workload payload
+        serial = run_policy_sweep(fresh_cache(), WORKLOADS[:1], SPECS)
+        assert serialize(result) == serialize(serial)
+
+    def test_failing_cell_raises_with_coordinates(self, broken_pool):
+        """A cell that raises inside the worker surfaces as a
+        RuntimeError naming workload/label, like the serial loop's
+        traceback would."""
+        bad_specs = {"Bad": {"policy_kind": "no-such-policy"}}
+        with pytest.raises(RuntimeError, match="lucas/Bad"):
+            ParallelRunner(workers=2, max_pool_restarts=0).run_sweep(
+                fresh_cache(), WORKLOADS[:1], bad_specs
+            )
+
+
+class TestCheckpointResume:
+    def test_parallel_restores_checkpointed_cells(self, tmp_path,
+                                                  broken_pool):
+        """A cell already in the checkpoint is restored, not recomputed:
+        poisoning its recorded cycles must show up in the merged result."""
+        ckpt = SweepCheckpoint(tmp_path / "ck.json")
+        cache = fresh_cache()
+        with active_checkpoint(ckpt, "t"):
+            first = ParallelRunner(workers=2).run_sweep(
+                cache, WORKLOADS[:1], {"LRU": SPECS["LRU"]}
+            )
+        key = ckpt.cell_key("cell", "t", cache.setup.name,
+                            cache.setup.accesses, "lucas", "LRU")
+        poisoned = dict(ckpt.get(key))
+        poisoned["cycles"] = 123456.0
+        ckpt.put(key, poisoned)
+
+        with active_checkpoint(ckpt, "t"):
+            resumed = ParallelRunner(workers=2).run_sweep(
+                fresh_cache(), WORKLOADS[:1], SPECS
+            )
+        assert resumed["lucas"]["LRU"].cycles == 123456.0
+        # The un-checkpointed label was freshly computed and persisted.
+        adaptive_key = ckpt.cell_key("cell", "t", cache.setup.name,
+                                     cache.setup.accesses, "lucas",
+                                     "Adaptive")
+        assert ckpt.has(adaptive_key)
+        assert first["lucas"]["LRU"].name == "lucas"
+
+    def test_mid_sweep_resume_under_different_worker_count(self, tmp_path):
+        """A sweep checkpointed serially resumes parallel (and vice
+        versa): cell keys are worker-count-independent, and the final
+        merged result matches an uninterrupted serial sweep exactly."""
+        path = tmp_path / "ck.json"
+        # Phase 1: serial run completes only the first workload (a
+        # mid-sweep kill between workloads).
+        with active_checkpoint(SweepCheckpoint(path), "t"):
+            run_policy_sweep(fresh_cache(), WORKLOADS[:1], SPECS)
+
+        # Phase 2: resume the full sweep under workers=2.
+        resumed_ckpt = SweepCheckpoint(path)
+        restored_keys = set(resumed_ckpt.keys())
+        with active_checkpoint(resumed_ckpt, "t"):
+            resumed = run_policy_sweep(
+                fresh_cache(), WORKLOADS, SPECS, workers=2
+            )
+
+        reference = run_policy_sweep(fresh_cache(), WORKLOADS, SPECS)
+        assert serialize(resumed) == serialize(reference)
+        # Phase 1's cells were restored (still present, not rewritten
+        # under different keys) and phase 2 added the second workload's.
+        assert restored_keys <= set(resumed_ckpt.keys())
+        assert len(resumed_ckpt) == len(WORKLOADS) * len(SPECS)
+
+    def test_checkpoint_oblivious_without_context(self):
+        """No active checkpoint: the parallel path runs everything and
+        touches no checkpoint machinery."""
+        assert checkpoint_mod.active() is None
+        sweep = parallel_policy_sweep(
+            fresh_cache(), WORKLOADS[:1], {"LRU": SPECS["LRU"]}, workers=2
+        )
+        assert sweep["lucas"]["LRU"].l2_accesses > 0

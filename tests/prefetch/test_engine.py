@@ -3,9 +3,8 @@
 import pytest
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.config import CacheConfig
 from repro.policies.lru import LRUPolicy
-from repro.prefetch.base import PrefetchRequest, Prefetcher
+from repro.prefetch.base import Prefetcher
 from repro.prefetch.engine import PrefetchingCache, PrefetchStats
 from repro.prefetch.hybrid import AdaptiveHybridPrefetcher
 from repro.prefetch.nextline import NextLinePrefetcher

@@ -5,7 +5,6 @@ the access sequence, the structural guarantees of the caches, policies,
 history buffers and the adaptive scheme must hold.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cache.cache import SetAssociativeCache

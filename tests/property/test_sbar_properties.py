@@ -4,7 +4,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig
-from repro.core.partial import PartialTagScheme
 from repro.experiments.base import build_l2_policy
 from tests import strategies
 

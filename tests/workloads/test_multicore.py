@@ -9,7 +9,6 @@ from repro.workloads.multicore import (
     interleave_traces,
     offset_core_records,
 )
-from repro.workloads.suite import build_workload
 from repro.workloads.trace import (
     KIND_BRANCH_TAKEN,
     KIND_LOAD,

@@ -51,10 +51,10 @@ class TestCompositeRecipes:
         patterns (the Figure 7a spatial structure)."""
         stream = ammp_recipe(config, 9000, 7)
         first_third = stream[:3000]
-        low_half = [l for l in first_third if l % config.num_sets <
-                    config.num_sets // 2]
-        high_half = [l for l in first_third if l % config.num_sets >=
-                     config.num_sets // 2]
+        low_half = [line for line in first_third
+                    if line % config.num_sets < config.num_sets // 2]
+        high_half = [line for line in first_third
+                     if line % config.num_sets >= config.num_sets // 2]
         assert len(low_half) > 500
         assert len(high_half) > 500
 
@@ -112,7 +112,8 @@ class TestDitherRecipe:
         restart — otherwise the 'loop' never leaves the cache."""
         recipe = dither_recipe(1.25, 0.3, 3.0)
         stream = recipe(config, 12000, 11)
-        loop_lines = [l for l in stream if l < 2 * config.num_lines]
+        loop_lines = [line for line in stream
+                      if line < 2 * config.num_lines]
         # The loop footprint is 1.25x capacity; the cursor must have
         # covered essentially all of it.
         assert len(set(loop_lines)) > 1.0 * config.num_lines
@@ -128,7 +129,7 @@ class TestDitherRecipe:
         )
 
         def loop_share(stream):
-            return sum(1 for l in stream if l > 64) / len(stream)
+            return sum(1 for line in stream if line > 64) / len(stream)
 
         assert loop_share(heavy) > loop_share(light) + 0.3
 

@@ -77,3 +77,20 @@ class TestEmpty:
         assert trace.instruction_count == 0
         assert trace.memory_access_count() == 0
         assert trace.footprint_lines() == 0
+
+
+class TestMemoryStream:
+    def test_filters_and_flags(self):
+        """Branches drop out; loads/stores keep order and write flags."""
+        addresses, writes = sample_trace().memory_stream()
+        assert addresses == [0x1000, 0x1040, 0x2000]
+        assert writes == [False, True, False]
+
+    def test_shapes_match_counts(self):
+        trace = sample_trace()
+        addresses, writes = trace.memory_stream()
+        assert len(addresses) == trace.memory_access_count()
+        assert sum(writes) == trace.store_count()
+
+    def test_empty_trace(self):
+        assert Trace("empty").memory_stream() == ([], [])
