@@ -93,3 +93,18 @@ class CacheSet(SetView):
     def resident_tags(self) -> List[int]:
         """Tags of all valid blocks (unordered)."""
         return list(self._tag_to_way)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the per-way tags and dirty bits.
+
+        The tag->way index is derived state and is rebuilt on load.
+        """
+        return {"tags": list(self._tags), "dirty": list(self._dirty)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._tags = [None if t is None else int(t) for t in state["tags"]]
+        self._dirty = [bool(d) for d in state["dirty"]]
+        self._tag_to_way = {
+            tag: way for way, tag in enumerate(self._tags) if tag is not None
+        }

@@ -182,3 +182,26 @@ class TagArray:
     def resident_tags(self, set_index: int) -> List[int]:
         """Transformed tags currently resident in ``set_index``."""
         return self.sets[set_index].resident_tags()
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the shadow contents and counters.
+
+        Deliberately excludes the component policy's state: the policy
+        object is shared with (and saved by) its owning
+        :class:`~repro.core.adaptive.AdaptivePolicy`, and saving it from
+        both sides would restore it twice.
+        """
+        return {
+            "sets": [s.state_dict() for s in self.sets],
+            "misses": self.misses,
+            "accesses": self.accesses,
+            "per_set_misses": list(self.per_set_misses),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        for cache_set, set_state in zip(self.sets, state["sets"]):
+            cache_set.load_state_dict(set_state)
+        self.misses = int(state["misses"])
+        self.accesses = int(state["accesses"])
+        self.per_set_misses = [int(m) for m in state["per_set_misses"]]

@@ -285,3 +285,45 @@ class AdaptivePolicy(ReplacementPolicy):
             for i in range(len(row)):
                 row[i] = 0
         return drained
+
+    # ------------------------------------------------------------------
+    # Crash-recovery state capture
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the full adaptive machinery.
+
+        Covers the component policies, shadow tag arrays, per-set
+        selectors, fallback RNG, recency stamps and decision counters —
+        everything Algorithm 1 consults. The transient per-access replay
+        outcomes (``_last_outcomes``) are *not* saved: snapshots are
+        taken between accesses, where they are dead state, and
+        :meth:`load_state_dict` resets them so a restored policy demands
+        a fresh ``observe()`` before its first ``victim()``.
+        """
+        return {
+            "components": [c.state_dict() for c in self.components],
+            "shadows": [s.state_dict() for s in self.shadows],
+            "selectors": [s.state_dict() for s in self.selectors],
+            "rng": self._rng.state(),
+            "clock": self._clock,
+            "stamp": [list(row) for row in self._stamp],
+            "decisions": [list(row) for row in self._decisions],
+            "fallback_evictions": self.fallback_evictions,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        for component, comp_state in zip(self.components, state["components"]):
+            component.load_state_dict(comp_state)
+        for shadow, shadow_state in zip(self.shadows, state["shadows"]):
+            shadow.load_state_dict(shadow_state)
+        for selector, sel_state in zip(self.selectors, state["selectors"]):
+            selector.load_state_dict(sel_state)
+        self._rng.restore(state["rng"])
+        self._clock = int(state["clock"])
+        self._stamp = [list(map(int, row)) for row in state["stamp"]]
+        self._decisions = [list(map(int, row)) for row in state["decisions"]]
+        self.fallback_evictions = int(state["fallback_evictions"])
+        self._last_outcomes = []
+        self._last_set = -1

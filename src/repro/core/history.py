@@ -93,6 +93,20 @@ class MissHistory(abc.ABC):
         scores = [self.misses(i) for i in range(self.num_components)]
         return scores.index(min(scores))
 
+    @abc.abstractmethod
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the recorded events.
+
+        Part of the crash-recovery contract (see
+        :meth:`repro.policies.base.ReplacementPolicy.state_dict`): a
+        restored history must score components identically to the one
+        that produced the snapshot.
+        """
+
+    @abc.abstractmethod
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+
 
 class CounterHistory(MissHistory):
     """Unbounded integer miss counters (the provable variant)."""
@@ -118,6 +132,14 @@ class CounterHistory(MissHistory):
 
     def clear(self) -> None:
         self._counts = [0] * self.num_components
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the miss counters."""
+        return {"counts": list(self._counts)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._counts = [int(c) for c in state["counts"]]
 
 
 class SaturatingCounterHistory(MissHistory):
@@ -154,6 +176,14 @@ class SaturatingCounterHistory(MissHistory):
 
     def clear(self) -> None:
         self._counts = [0] * self.num_components
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the saturating counters."""
+        return {"counts": list(self._counts)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._counts = [int(c) for c in state["counts"]]
 
 
 class BitVectorHistory(MissHistory):
@@ -202,6 +232,26 @@ class BitVectorHistory(MissHistory):
     def recorded_events(self) -> int:
         """Number of events currently in the window (testing aid)."""
         return len(self._events)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the event window.
+
+        The derived counts are rebuilt on load rather than stored, so a
+        snapshot can never carry a window/count disagreement.
+        """
+        return {"events": [list(event) for event in self._events]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._events = deque(
+            (tuple(bool(m) for m in event) for event in state["events"]),
+            maxlen=self.window,
+        )
+        self._counts = [0] * self.num_components
+        for event in self._events:
+            for i, m in enumerate(event):
+                if m:
+                    self._counts[i] += 1
 
 
 def make_history_factory(

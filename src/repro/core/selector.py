@@ -75,6 +75,21 @@ class PolicySelector:
         """Component with the fewest recorded misses (ties favour 0)."""
         return self.history.best_component()
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: history state, switch counter and
+        the currently imitated component."""
+        return {
+            "history": self.history.state_dict(),
+            "switches": self.switches,
+            "best": self._best,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self.history.load_state_dict(state["history"])
+        self.switches = int(state["switches"])
+        self._best = int(state["best"])
+
 
 class GlobalSelector:
     """A PSEL-style saturating counter selecting between two components.
@@ -141,3 +156,12 @@ class GlobalSelector:
         misses re-train it, so corrupting it is always safe.
         """
         self.value = max(0, min(self.max_value, value))
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the counter and switch count."""
+        return {"value": self.value, "switches": self.switches}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self.value = max(0, min(self.max_value, int(state["value"])))
+        self.switches = int(state["switches"])

@@ -265,8 +265,11 @@ def run_policy_sweep(
                 )
                 cached = ckpt.get(key)
                 if cached is not None:
-                    results[name][label] = checkpoint_mod.timing_from_dict(cached)
-                    continue
+                    cell = checkpoint_mod.restore_timing_cell(cached, key)
+                    if cell is not None:
+                        results[name][label] = cell
+                        continue
+                    ckpt.discard(key)
             result = cache.simulate_policy(
                 name, processor=processor, l2_config=l2_config, **kwargs
             )

@@ -20,6 +20,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import sys
 from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.cpu.timing import TimingResult
@@ -67,6 +68,32 @@ class SweepCheckpoint:
                     f"checkpoint file {self.path} has no 'cells' mapping"
                 )
             self._cells = cells
+
+    @classmethod
+    def open_or_reset(cls, path: Union[str, os.PathLike]
+                      ) -> "SweepCheckpoint":
+        """Open ``path``, quarantining a damaged file instead of raising.
+
+        A checkpoint exists to protect a sweep from crashes; a torn or
+        corrupt checkpoint killing the resume it was meant to enable
+        would be absurd. On :class:`CheckpointError` the file is moved
+        aside to ``<path>.corrupt`` (a later run can inspect it), a
+        warning goes to stderr, and a fresh empty checkpoint is
+        returned — the sweep recomputes from scratch, which is always
+        safe.
+        """
+        try:
+            return cls(path)
+        except CheckpointError as exc:
+            target = os.fspath(path)
+            quarantine = target + ".corrupt"
+            os.replace(target, quarantine)
+            print(
+                f"[checkpoint] {exc}; moved aside to {quarantine}, "
+                "starting fresh",
+                file=sys.stderr,
+            )
+            return cls(path)
 
     @staticmethod
     def cell_key(*parts) -> str:
@@ -163,3 +190,26 @@ def timing_from_dict(payload: dict) -> TimingResult:
         l2_misses=int(payload["l2_misses"]),
         breakdown={k: float(v) for k, v in payload["breakdown"].items()},
     )
+
+
+def restore_timing_cell(payload, key: str) -> Optional[TimingResult]:
+    """A corruption-tolerant :func:`timing_from_dict` for resume paths.
+
+    A checkpoint file can be valid JSON while an individual cell's
+    payload is damaged (hand-edited, produced by an older build, or
+    hit by partial corruption the outer framing survived). A resume
+    must treat such a cell exactly like a missing one: warn, discard,
+    resimulate — never crash the sweep.
+
+    Returns:
+        The restored cell, or None when the payload is unusable.
+    """
+    try:
+        return timing_from_dict(payload)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        print(
+            f"[checkpoint] cell {key} is corrupt ({exc!r}); "
+            "discarding and resimulating",
+            file=sys.stderr,
+        )
+        return None

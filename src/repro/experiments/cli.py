@@ -95,6 +95,8 @@ def _run_result(name: str, args: argparse.Namespace):
     if args.workloads and name not in ("fig7", "ext-shared", "ext-skew",
                                        "ext-online"):
         kwargs["workloads"] = args.workloads
+    if name == "ext-online" and getattr(args, "snapshot_dir", None):
+        kwargs["snapshot_dir"] = args.snapshot_dir
     return module.run(setup=setup, **kwargs)
 
 
@@ -148,12 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "report", "policies", "golden", "perf"],
+        + ["all", "report", "policies", "golden", "perf", "recover"],
         help="which table/figure to regenerate ('report' writes a "
         "markdown report of everything; 'policies' lists the "
         "registered replacement policies; 'golden' checks or "
         "regenerates the pinned golden-trace digests; 'perf' "
-        "benchmarks the hot path and sweep and writes BENCH_perf.json)",
+        "benchmarks the hot path and sweep and writes BENCH_perf.json; "
+        "'recover' rebuilds a persisted online cache from --snapshot-dir "
+        "and prints its stats digest)",
     )
     parser.add_argument(
         "--out",
@@ -249,6 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
         "results are byte-identical at any worker count)",
     )
     parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="with 'ext-online': run the adaptive cells through the "
+        "crash-safe persistent engine, state under DIR/<workload>; "
+        "with 'recover': the persistence directory to rebuild from",
+    )
+    parser.add_argument(
+        "--finish",
+        action="store_true",
+        help="with 'recover': after recovery, resume the key stream "
+        "recorded in the directory and run it to completion (a fresh "
+        "directory starts the stream from scratch), so the printed "
+        "digest is comparable to an uninterrupted run's",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="with 'perf': shorter streams and a smaller sweep (CI mode)",
@@ -269,19 +289,9 @@ def _open_checkpoint(
     if not (args.resume or args.checkpoint):
         return None
     path = args.checkpoint or DEFAULT_CHECKPOINT
-    try:
-        return checkpoint_mod.SweepCheckpoint(path)
-    except checkpoint_mod.CheckpointError as exc:
-        # A damaged checkpoint must not kill the sweep it exists to
-        # protect: set it aside and start a fresh one.
-        quarantine = path + ".corrupt"
-        os.replace(path, quarantine)
-        print(
-            f"[checkpoint] {exc}; moved aside to {quarantine}, "
-            "starting fresh",
-            file=sys.stderr,
-        )
-        return checkpoint_mod.SweepCheckpoint(path)
+    # A damaged checkpoint must not kill the sweep it exists to
+    # protect: open_or_reset sets it aside and starts a fresh one.
+    return checkpoint_mod.SweepCheckpoint.open_or_reset(path)
 
 
 def _failure_summary(failures: List[runner_mod.CellOutcome]) -> str:
@@ -344,6 +354,47 @@ def _run_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_recover(args: argparse.Namespace) -> int:
+    """Rebuild a persisted online cache; print its stats and digest.
+
+    With ``--finish`` the key stream recorded in the directory is
+    resumed to completion first (see
+    :func:`repro.experiments.ext_online.persistent_replay`), so after
+    a SIGKILL the printed digest must equal an uninterrupted run's —
+    the CI kill-and-recover smoke compares exactly these two lines.
+    """
+    from repro.experiments import ext_online
+    from repro.online.persistence import kv_stats_digest, recover
+
+    if not args.snapshot_dir:
+        print("recover requires --snapshot-dir DIR", file=sys.stderr)
+        return 2
+    try:
+        if args.finish:
+            stats = ext_online.persistent_replay(
+                args.snapshot_dir,
+                setup=base.make_setup(args.scale, accesses=args.accesses),
+            )
+            verb = "recovered+finished"
+        else:
+            cache = recover(args.snapshot_dir)
+            stats = cache.stats()
+            cache.close()
+            verb = "recovered"
+    except FileNotFoundError as exc:
+        print(
+            f"recover: no persisted state in {args.snapshot_dir} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{verb}: gets={stats.gets} hits={stats.hits} "
+        f"misses={stats.misses} switches={stats.policy_switches}"
+    )
+    print(f"digest: {kv_stats_digest(stats)}")
+    return 0
+
+
 def _run_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
     from repro.utils.atomicio import atomic_write_text
@@ -384,6 +435,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_golden(args)
         if args.experiment == "perf":
             return _run_perf(args)
+        if args.experiment == "recover":
+            return _run_recover(args)
         return _run_experiments(args)
     finally:
         if args.trace_cache:

@@ -14,10 +14,19 @@ Hit counts are deterministic (fingerprints and generators are seeded);
 throughput naturally varies run to run. With an active sweep
 checkpoint, each completed (workload, engine) cell is persisted and
 restored on resume.
+
+With ``--snapshot-dir`` the adaptive cells additionally run through
+the crash-safe :class:`~repro.online.persistence.PersistentKVCache`
+(periodic snapshots + write-ahead log); :func:`persistent_replay` is
+also the engine behind ``repro-experiments recover``, which rebuilds
+a killed run from its persisted state and finishes the stream with
+byte-identical stats.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
@@ -47,6 +56,15 @@ DEFAULT_WORKLOADS = ("zipf", "scan-hot", "loop", PHASE_WORKLOAD, "trace-ammp")
 FIXED_BASELINES = ("lru", "lfu", "fifo")
 
 NUM_SHARDS = 8
+
+#: Stream-coordinate sidecar written into a persistence directory so
+#: ``repro-experiments recover`` can resume the exact same key stream.
+STREAM_FILE = "STREAM.json"
+
+#: Persistence cadences for :func:`persistent_replay` — frequent enough
+#: that a mini-scale kill-and-recover smoke crosses several generations.
+SNAPSHOT_EVERY = 2_000
+WAL_FLUSH_OPS = 16
 
 
 def build_key_stream(
@@ -126,6 +144,108 @@ def replay(engine: str, keys: Sequence[str], capacity: int,
     }
 
 
+def persistent_replay(
+    directory: str,
+    workload: str = "zipf",
+    setup: Optional[Setup] = None,
+    seed: int = 0,
+    snapshot_every: int = SNAPSHOT_EVERY,
+    wal_flush_ops: int = WAL_FLUSH_OPS,
+):
+    """Crash-safe adaptive replay of one key stream; resumes after kills.
+
+    A fresh ``directory`` gets a persistent adaptive engine, a
+    ``STREAM.json`` sidecar recording the stream coordinates, and a
+    full replay. A directory holding prior state is *recovered*
+    instead (newest intact snapshot + WAL replay, torn tails
+    truncated) and the deterministic stream resumes at the recovered
+    operation count — every access is a ``get_or_compute``, so
+    ``stats().gets`` is exactly the stream position. Finishing after a
+    SIGKILL therefore yields stats (and a
+    :func:`~repro.online.persistence.kv_stats_digest`) identical to an
+    uninterrupted run — the contract the kill-and-recover smoke checks.
+
+    Args:
+        directory: persistence directory (snapshots, WALs, manifest,
+            stream sidecar). Recorded coordinates override the
+            ``workload``/``setup``/``seed`` arguments on resume.
+        workload: key-stream name (see :func:`build_key_stream`).
+        setup: experiment scale; default ``scaled``.
+        seed: stream and engine seed.
+        snapshot_every: operations between automatic snapshots.
+        wal_flush_ops: buffered operations per WAL flush.
+
+    Returns:
+        The final :class:`~repro.online.stats.KVCacheStats`.
+    """
+    from repro.online.persistence import PersistentKVCache, recover
+    from repro.utils.atomicio import atomic_write_text
+
+    meta_path = os.path.join(directory, STREAM_FILE)
+    if os.path.exists(meta_path):
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        workload, seed = meta["workload"], int(meta["seed"])
+        setup = make_setup(meta["scale"], accesses=int(meta["accesses"]))
+        cache = recover(
+            directory,
+            snapshot_every=snapshot_every,
+            wal_flush_ops=wal_flush_ops,
+        )
+    else:
+        setup = setup or make_setup()
+        os.makedirs(directory, exist_ok=True)
+        atomic_write_text(
+            meta_path,
+            json.dumps({
+                "workload": workload,
+                "scale": setup.name,
+                "accesses": setup.accesses,
+                "seed": seed,
+            }),
+        )
+        cache = PersistentKVCache(
+            AdaptiveKVCache(
+                capacity_entries=setup.l2.num_lines,
+                num_shards=NUM_SHARDS,
+                policy="adaptive",
+                seed=seed,
+            ),
+            directory,
+            snapshot_every=snapshot_every,
+            wal_flush_ops=wal_flush_ops,
+        )
+    capacity = setup.l2.num_lines
+    keys = build_key_stream(workload, capacity, setup, seed=seed)
+    for key in keys[cache.stats().gets:]:
+        cache.get_or_compute(key, lambda k: k)
+    cache.close()
+    return cache.stats()
+
+
+def _persistent_cell(
+    directory: str, workload: str, setup: Setup, seed: int
+) -> Dict[str, float]:
+    """One adaptive metrics cell served through the persistent wrapper.
+
+    Hit counts are identical to the plain :func:`replay` cell — the
+    wrapper only logs, it never perturbs replacement decisions —
+    while ops/sec now includes the WAL and snapshot overhead.
+    """
+    start = time.perf_counter()
+    stats = persistent_replay(
+        directory, workload=workload, setup=setup, seed=seed
+    )
+    elapsed = time.perf_counter() - start
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_pct": 100.0 * stats.hits / stats.gets if stats.gets else 0.0,
+        "ops_per_sec": stats.gets / elapsed if elapsed > 0 else 0.0,
+        "switches": stats.policy_switches,
+    }
+
+
 def _cell(setup: Setup, workload: str, engine: str, compute) -> Dict[str, float]:
     """Compute one metrics cell, via the active sweep checkpoint if any."""
     entry = checkpoint_mod.active()
@@ -148,6 +268,7 @@ def run(
     workloads: Optional[Sequence[str]] = None,
     engines: Sequence[str] = DEFAULT_ENGINES,
     seed: int = 0,
+    snapshot_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Hit rate and throughput of every (key stream, engine) pair.
 
@@ -159,6 +280,10 @@ def run(
             :data:`DEFAULT_WORKLOADS`).
         engines: engine specs (default: :data:`DEFAULT_ENGINES`).
         seed: base seed for generators and stochastic components.
+        snapshot_dir: when set, each adaptive cell runs through the
+            crash-safe persistent wrapper, its state living under
+            ``snapshot_dir/<workload>`` (and resuming from it — a
+            killed run picks up where the WAL ends).
     """
     setup = setup or make_setup()
     workloads = list(workloads or DEFAULT_WORKLOADS)
@@ -177,10 +302,15 @@ def run(
         keys = build_key_stream(workload, capacity, setup, seed=seed)
         table[workload] = {}
         for engine in engines:
-            cell = _cell(
-                setup, workload, engine,
-                lambda e=engine: replay(e, keys, capacity, seed=seed),
-            )
+            if engine == "adaptive" and snapshot_dir is not None:
+                compute = lambda w=workload: _persistent_cell(  # noqa: E731
+                    os.path.join(snapshot_dir, w), w, setup, seed
+                )
+            else:
+                compute = lambda e=engine: replay(  # noqa: E731
+                    e, keys, capacity, seed=seed
+                )
+            cell = _cell(setup, workload, engine, compute)
             table[workload][engine] = cell
             result.add_row(
                 workload, engine, cell["hits"], cell["misses"],

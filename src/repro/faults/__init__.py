@@ -16,12 +16,27 @@ repository can exercise:
   counting everything it does in a ``FaultLog``.
 * ``repro-experiments ext-faults`` sweeps fault rates and reports MPKI
   degradation, asserting the graceful-degradation invariants.
+* :mod:`repro.faults.online` extends the campaign to the serving layer:
+  :class:`~repro.faults.online.FlakyLoader` (failing/bursty/slow
+  loaders), :func:`~repro.faults.online.torn_write` (seeded WAL tail
+  shears), and :func:`~repro.faults.online.chaos_campaign` — a
+  crash/tear/flaky-loader gauntlet that asserts recovery
+  decision-identity and the 2x miss bound end to end.
 
 When no plan is armed the hooks cost one pointer comparison per access.
 See docs/robustness.md for the fault model.
 """
 
 from repro.faults.injector import FaultInjector
+from repro.faults.online import (
+    ChaosPlan,
+    ChaosReport,
+    FlakyLoader,
+    chaos_campaign,
+    chaos_stream,
+    newest_wal,
+    torn_write,
+)
 from repro.faults.plan import (
     ALL_SITES,
     HISTORY_MODES,
@@ -43,4 +58,11 @@ __all__ = [
     "FaultLog",
     "FaultPlan",
     "FaultSpec",
+    "ChaosPlan",
+    "ChaosReport",
+    "FlakyLoader",
+    "chaos_campaign",
+    "chaos_stream",
+    "newest_wal",
+    "torn_write",
 ]

@@ -17,12 +17,35 @@ KV-block caches in serving stacks:
   delete/get_or_compute, TTL, entry- and byte-capacity, stats.
 * :mod:`repro.online.bound` — the Appendix's 2x miss bound checked on
   the engine (shards standing in for sets).
+* :mod:`repro.online.persistence` — crash-safe durability: periodic
+  snapshots plus a CRC-framed write-ahead log, with recovery that
+  reissues byte-identical replacement decisions.
+* :mod:`repro.online.resilience` — resilient serving: bounded retries,
+  per-shard circuit breakers, stale-while-unavailable fallback, shard
+  quarantine/rebuild, and health/readiness probes.
 
 See docs/online.md for the design and its mapping to the paper.
 """
 
 from repro.online.bound import check_online_miss_bound
 from repro.online.engine import MODES, AdaptiveKVCache, default_sizeof
+from repro.online.persistence import (
+    PersistentKVCache,
+    SnapshotCorruptError,
+    kv_stats_digest,
+    read_snapshot,
+    read_wal,
+    recover,
+    replay_into,
+    write_snapshot,
+)
+from repro.online.resilience import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    LoaderUnavailable,
+    ResilientKVCache,
+    RetryPolicy,
+)
 from repro.online.keyspace import (
     FINGERPRINT_BITS,
     key_fingerprint,
@@ -52,4 +75,17 @@ __all__ = [
     "shard_of",
     "partial_fingerprint_transform",
     "check_online_miss_bound",
+    "PersistentKVCache",
+    "SnapshotCorruptError",
+    "kv_stats_digest",
+    "read_snapshot",
+    "read_wal",
+    "recover",
+    "replay_into",
+    "write_snapshot",
+    "BREAKER_STATES",
+    "CircuitBreaker",
+    "LoaderUnavailable",
+    "ResilientKVCache",
+    "RetryPolicy",
 ]

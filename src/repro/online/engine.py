@@ -112,6 +112,22 @@ class AdaptiveKVCache:
         self.components = tuple(components)
         self.num_shards = num_shards
         self.capacity_entries = capacity_entries
+        # The JSON-serializable constructor arguments, retained so the
+        # persistence layer can record them in a snapshot manifest and
+        # rebuild an identically-configured engine at recovery time.
+        # Callable arguments (sizeof/history_factory/clock) cannot be
+        # serialized; recover() takes them as overrides instead.
+        self.config = {
+            "capacity_entries": capacity_entries,
+            "num_shards": num_shards,
+            "policy": policy,
+            "components": list(components),
+            "partial_bits": partial_bits,
+            "num_leader_shards": num_leader_shards,
+            "default_ttl": default_ttl,
+            "capacity_bytes": capacity_bytes,
+            "seed": seed,
+        }
 
         self.global_selector: Optional[GlobalSelector] = None
         vote_sink = None
@@ -125,28 +141,67 @@ class AdaptiveKVCache:
             )
         self.leader_shards: Tuple[int, ...] = tuple(sorted(leaders))
 
+        # Build context retained so rebuild_shard() can construct a
+        # replacement shard identical to the original (quarantine
+        # recovery swaps shard objects rather than scrubbing in place).
+        self._leaders = leaders
+        self._vote_sink = vote_sink
+        self._partial_bits = partial_bits
+        self._history_factory = history_factory
+        self._seed = seed
+        self._sizeof = sizeof
+        self._clock = clock
+        self._default_ttl = default_ttl
+        self._capacity_bytes = capacity_bytes
+
         base, remainder = divmod(capacity_entries, num_shards)
         self.shards = []
         for index in range(num_shards):
-            capacity = base + (1 if index < remainder else 0)
-            shard_policy = self._build_policy(
-                index, capacity, leaders, partial_bits, history_factory,
-                seed, vote_sink,
-            )
-            shard_bytes = None
-            if capacity_bytes is not None:
-                byte_base, byte_rem = divmod(capacity_bytes, num_shards)
-                shard_bytes = byte_base + (1 if index < byte_rem else 0)
-            self.shards.append(
-                CacheShard(
-                    capacity,
-                    shard_policy,
-                    default_ttl=default_ttl,
-                    capacity_bytes=shard_bytes,
-                    sizeof=sizeof,
-                    clock=clock,
-                )
-            )
+            self.shards.append(self._build_shard(index, base, remainder))
+
+    def _build_shard(self, index: int, base: int, remainder: int) -> CacheShard:
+        """Construct shard ``index`` from the retained build context."""
+        capacity = base + (1 if index < remainder else 0)
+        shard_policy = self._build_policy(
+            index, capacity, self._leaders, self._partial_bits,
+            self._history_factory, self._seed, self._vote_sink,
+        )
+        shard_bytes = None
+        if self._capacity_bytes is not None:
+            byte_base, byte_rem = divmod(self._capacity_bytes, self.num_shards)
+            shard_bytes = byte_base + (1 if index < byte_rem else 0)
+        return CacheShard(
+            capacity,
+            shard_policy,
+            default_ttl=self._default_ttl,
+            capacity_bytes=shard_bytes,
+            sizeof=self._sizeof,
+            clock=self._clock,
+        )
+
+    def rebuild_shard(self, index: int, shard_state: Optional[dict] = None
+                      ) -> CacheShard:
+        """Replace shard ``index`` with a freshly built one.
+
+        The quarantine-recovery primitive: the old shard object (and
+        whatever corruption it carries) is dropped wholesale; the new
+        shard starts empty — counters included — or, when
+        ``shard_state`` (one element of a persisted snapshot's
+        ``"shards"`` list) is given, restored from it. In-flight
+        operations holding the old shard's lock finish against the old
+        object; new routes see the replacement.
+
+        Returns:
+            The new shard.
+        """
+        if not 0 <= index < self.num_shards:
+            raise IndexError(f"shard index {index} out of range")
+        base, remainder = divmod(self.capacity_entries, self.num_shards)
+        shard = self._build_shard(index, base, remainder)
+        if shard_state is not None:
+            shard.load_state_dict(shard_state)
+        self.shards[index] = shard
+        return shard
 
     def _build_policy(self, index, capacity, leaders, partial_bits,
                       history_factory, seed, vote_sink):
@@ -274,6 +329,8 @@ class AdaptiveKVCache:
             deletes=totals.get("deletes", 0),
             evictions=totals.get("evictions", 0),
             expirations=totals.get("expirations", 0),
+            stale_hits=totals.get("stale_hits", 0),
+            degraded=totals.get("degraded", 0),
             policy_switches=totals.get("policy_switches", 0),
             occupancy=totals.get("occupancy", 0),
             occupancy_bytes=totals.get("occupancy_bytes", 0),
@@ -281,3 +338,44 @@ class AdaptiveKVCache:
             shards=self.num_shards,
             per_shard_occupancy=per_shard_occupancy,
         )
+
+    # ------------------------------------------------------------------
+    # Crash-recovery state capture
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Pickle-safe snapshot of every shard plus the global selector.
+
+        Shards are snapshotted one at a time under their own locks
+        (same consistency model as :meth:`stats`); quiesce writes first
+        if a globally atomic cut is required — the persistence layer's
+        snapshot path does exactly that.
+        """
+        state = {
+            "config": dict(self.config),
+            "shards": [shard.state_dict() for shard in self.shards],
+        }
+        if self.global_selector is not None:
+            state["global_selector"] = self.global_selector.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this engine.
+
+        The engine must have been constructed with the same
+        configuration (shard count, capacities, policy kind, seed);
+        :func:`repro.online.persistence.recover` checks this against
+        the manifest before calling here. Afterwards the engine issues
+        byte-identical replacement decisions to the one that produced
+        the snapshot.
+        """
+        saved = state.get("config")
+        if saved is not None and saved != self.config:
+            raise ValueError(
+                "engine configuration does not match the snapshot: "
+                f"snapshot {saved!r} vs engine {self.config!r}"
+            )
+        for shard, shard_state in zip(self.shards, state["shards"]):
+            shard.load_state_dict(shard_state)
+        if self.global_selector is not None:
+            self.global_selector.load_state_dict(state["global_selector"])

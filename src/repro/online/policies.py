@@ -79,6 +79,20 @@ class DuelingResidentPolicy(ReplacementPolicy):
             set_index, set_view
         )
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the two components' metadata.
+
+        The shared :class:`~repro.core.selector.GlobalSelector` is
+        engine-level state saved once by the engine, not per follower
+        shard — saving it here would restore it N times.
+        """
+        return {"components": [c.state_dict() for c in self.components]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        for component, comp_state in zip(self.components, state["components"]):
+            component.load_state_dict(comp_state)
+
 
 def _make_component(name: str, ways: int, seed: int) -> ReplacementPolicy:
     """One component policy for a 1 x ways shard."""

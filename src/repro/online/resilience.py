@@ -1,0 +1,359 @@
+"""Resilient serving on top of the online engine.
+
+:class:`ResilientKVCache` wraps a cache (an
+:class:`~repro.online.engine.AdaptiveKVCache` or its persistent
+wrapper) and hardens the ``get_or_compute`` path against flaky
+loaders, the classic serving ladder:
+
+1. **Cache hit** — answered normally, nothing else runs.
+2. **Miss, breaker closed** — the loader runs under a bounded
+   retry/backoff schedule with a total elapsed-time budget
+   (:class:`RetryPolicy`); success fills the cache and closes the
+   ladder.
+3. **Miss, loader failing or breaker open** — *stale-while-unavailable*:
+   an expired-but-still-resident entry is served rather than an error
+   (:meth:`~repro.online.shard.CacheShard.peek_stale` reads it without
+   policy events, so degraded serving never perturbs replacement
+   decisions). Stale serves are counted separately (``stale_hits``) —
+   they never inflate the real hit ratio.
+4. **Nothing to serve** — the request is counted ``degraded`` and
+   :class:`LoaderUnavailable` is raised.
+
+Loader failures are tracked per shard by a
+:class:`CircuitBreaker` (closed → open on consecutive failures →
+half-open probe after a cooldown), so one collapsing backend partition
+stops burning retry budget almost immediately while healthy shards
+keep loading.
+
+Shards can additionally be **quarantined** (e.g. after a detected
+corruption): a quarantined shard serves nothing and swallows writes;
+:meth:`ResilientKVCache.rebuild` swaps in a freshly built shard —
+empty, or restored from a persisted snapshot's shard state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.online.keyspace import key_fingerprint, shard_of
+
+#: Circuit-breaker states.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+class LoaderUnavailable(RuntimeError):
+    """The loader failed (or was skipped) and no stale value existed."""
+
+
+class RetryPolicy:
+    """A bounded retry schedule for loader calls.
+
+    Args:
+        attempts: maximum loader invocations per request (>= 1).
+        backoff: sleep before the second attempt, seconds.
+        multiplier: backoff growth factor per further attempt.
+        budget: optional total elapsed-seconds budget for the whole
+            schedule; checked *between* attempts (cooperative — a hung
+            loader is not preempted, further attempts are just not
+            started).
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        backoff: float = 0.05,
+        multiplier: float = 2.0,
+        budget: Optional[float] = None,
+    ):
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be positive, got {budget}")
+        self.attempts = attempts
+        self.backoff = backoff
+        self.multiplier = multiplier
+        self.budget = budget
+
+
+class CircuitBreaker:
+    """A per-shard circuit breaker over loader outcomes.
+
+    Closed: calls flow. After ``failure_threshold`` *consecutive*
+    failures the breaker opens: calls are refused for
+    ``recovery_timeout`` seconds, after which one probe call is let
+    through (half-open); its success recloses the breaker, its failure
+    reopens it for another cooldown.
+
+    Args:
+        failure_threshold: consecutive failures that trip the breaker.
+        recovery_timeout: open-state cooldown, seconds.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_timeout <= 0:
+            raise ValueError(
+                f"recovery_timeout must be positive, got {recovery_timeout}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self._clock = clock
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown expiry applied lazily."""
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.recovery_timeout):
+            self._state = "half_open"
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a loader call may proceed right now."""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        """Note a successful loader call; recloses a half-open breaker."""
+        self._failures = 0
+        self._state = "closed"
+
+    def record_failure(self) -> None:
+        """Note a failed loader call; may trip or re-trip the breaker."""
+        self._failures += 1
+        if self._state == "half_open" or self._failures >= self.failure_threshold:
+            if self._state != "open":
+                self.trips += 1
+            self._state = "open"
+            self._opened_at = self._clock()
+            self._failures = 0
+
+
+class ResilientKVCache:
+    """Retry, circuit-break, stale-serve and quarantine around a cache.
+
+    Args:
+        cache: the cache to serve through — an
+            :class:`~repro.online.engine.AdaptiveKVCache` or a
+            :class:`~repro.online.persistence.PersistentKVCache`
+            (detected via its ``cache`` attribute; shard-level probes
+            go to the engine, logged operations to the wrapper).
+        retry: loader retry schedule; default ``RetryPolicy()``.
+        breaker_factory: builds one :class:`CircuitBreaker` per shard;
+            default uses the breaker's defaults.
+        sleep: backoff sleep function (injectable for tests).
+        clock: monotonic time source for the retry budget.
+        min_ready_fraction: smallest fraction of unquarantined shards
+            for which :meth:`ready` still answers True.
+    """
+
+    def __init__(
+        self,
+        cache,
+        retry: Optional[RetryPolicy] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        min_ready_fraction: float = 0.5,
+    ):
+        if not 0.0 < min_ready_fraction <= 1.0:
+            raise ValueError(
+                f"min_ready_fraction must be in (0, 1], got "
+                f"{min_ready_fraction}"
+            )
+        self.cache = cache
+        self.engine = getattr(cache, "cache", cache)
+        self.retry = retry if retry is not None else RetryPolicy()
+        if breaker_factory is None:
+            breaker_factory = CircuitBreaker
+        self.breakers = [
+            breaker_factory() for _ in range(self.engine.num_shards)
+        ]
+        self._sleep = sleep
+        self._clock = clock
+        self.min_ready_fraction = min_ready_fraction
+        self._quarantined = set()
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+
+    def _shard_index(self, key) -> int:
+        return shard_of(key_fingerprint(key), self.engine.num_shards)
+
+    # ------------------------------------------------------------------
+    # Serving API
+    # ------------------------------------------------------------------
+
+    def get(self, key, default=None):
+        """``get`` with quarantine guarding (a quarantined shard
+        answers ``default`` and counts the request as degraded)."""
+        index = self._shard_index(key)
+        if index in self._quarantined:
+            self.engine.shards[index].record_degraded()
+            return default
+        return self.cache.get(key, default)
+
+    def put(self, key, value, ttl=None, size=None) -> None:
+        """``put`` with quarantine guarding (writes to a quarantined
+        shard are dropped — its state is suspect until rebuilt)."""
+        if self._shard_index(key) in self._quarantined:
+            return
+        self.cache.put(key, value, ttl=ttl, size=size)
+
+    def delete(self, key) -> bool:
+        """``delete`` with quarantine guarding."""
+        if self._shard_index(key) in self._quarantined:
+            return False
+        return self.cache.delete(key)
+
+    def get_or_compute(self, key, loader, ttl=None):
+        """The resilient serving ladder (see module docstring).
+
+        Raises:
+            LoaderUnavailable: the loader could not produce a value
+                (failed, skipped by an open breaker, or quarantined)
+                and no stale entry was resident to serve instead.
+        """
+        index = self._shard_index(key)
+        shard = self.engine.shards[index]
+        if index in self._quarantined:
+            return self._serve_stale(shard, key, None, (False, None))
+
+        # Capture any resident value *before* the real lookup: the
+        # cache expires lazily, so the get below would destroy an
+        # expired entry — the very value stale serving needs later.
+        stale = shard.peek_stale(key)
+        missing = object()
+        value = self.cache.get(key, missing)
+        if value is not missing:
+            return value
+
+        breaker = self.breakers[index]
+        if not breaker.allow():
+            return self._serve_stale(shard, key, None, stale)
+
+        last_error = None
+        started = self._clock()
+        pause = self.retry.backoff
+        for attempt in range(self.retry.attempts):
+            if attempt > 0:
+                if (self.retry.budget is not None
+                        and self._clock() - started >= self.retry.budget):
+                    break
+                if pause > 0:
+                    self._sleep(pause)
+                pause *= self.retry.multiplier
+            try:
+                value = loader(key)
+            except Exception as error:  # noqa: BLE001 — loader boundary
+                last_error = error
+                breaker.record_failure()
+                if not breaker.allow():
+                    break
+                continue
+            breaker.record_success()
+            self.cache.put(key, value, ttl=ttl)
+            return value
+        return self._serve_stale(shard, key, last_error, stale)
+
+    def _serve_stale(self, shard, key, error, stale=None):
+        """Stale fallback, else count degraded and raise.
+
+        ``stale`` is a pre-captured ``peek_stale`` result; when None
+        the shard is probed now (quarantine path, where no destructive
+        lookup has run).
+        """
+        found, value = stale if stale is not None else shard.peek_stale(key)
+        if found:
+            shard.record_stale_serve()
+            return value
+        shard.record_degraded()
+        raise LoaderUnavailable(
+            f"loader unavailable for key {key!r} and no stale entry resident"
+        ) from error
+
+    # ------------------------------------------------------------------
+    # Quarantine and health
+    # ------------------------------------------------------------------
+
+    def quarantine(self, index: int) -> None:
+        """Take shard ``index`` out of service."""
+        if not 0 <= index < self.engine.num_shards:
+            raise IndexError(f"shard index {index} out of range")
+        self._quarantined.add(index)
+
+    def rebuild(self, index: int, shard_state: Optional[dict] = None) -> None:
+        """Swap in a fresh shard and return it to service.
+
+        Args:
+            index: the quarantined shard.
+            shard_state: optional shard entry from a persisted
+                snapshot's ``"shards"`` list
+                (:func:`repro.online.persistence.read_snapshot`) to
+                restore instead of starting empty.
+        """
+        self.engine.rebuild_shard(index, shard_state)
+        self._quarantined.discard(index)
+
+    def quarantined(self) -> frozenset:
+        """Indices of shards currently out of service."""
+        return frozenset(self._quarantined)
+
+    def health(self) -> dict:
+        """Liveness/degradation probe: per-shard breaker and quarantine
+        state plus the engine's merged counters."""
+        stats = self.cache.stats()
+        return {
+            "shards": [
+                {
+                    "breaker": breaker.state,
+                    "trips": breaker.trips,
+                    "quarantined": index in self._quarantined,
+                }
+                for index, breaker in enumerate(self.breakers)
+            ],
+            "quarantined": sorted(self._quarantined),
+            "stale_hits": stats.stale_hits,
+            "degraded": stats.degraded,
+            "ready": self.ready(),
+        }
+
+    def ready(self) -> bool:
+        """Readiness probe: enough shards in service to take traffic."""
+        serving = self.engine.num_shards - len(self._quarantined)
+        return serving >= self.min_ready_fraction * self.engine.num_shards
+
+    # ------------------------------------------------------------------
+    # Passthrough
+    # ------------------------------------------------------------------
+
+    def stats(self):
+        """The wrapped cache's merged counter snapshot."""
+        return self.cache.stats()
+
+    def __contains__(self, key) -> bool:
+        """Residency probe (quarantined shards report absent)."""
+        if self._shard_index(key) in self._quarantined:
+            return False
+        return key in self.cache
+
+    def __len__(self) -> int:
+        """Resident entries across shards (quarantined included)."""
+        return len(self.cache)

@@ -164,6 +164,11 @@ class CacheShard:
         self.deletes = 0
         self.evictions = 0
         self.expirations = 0
+        # Degraded-mode counters, bumped by the resilience layer
+        # (repro.online.resilience): kept separate from hits/misses so
+        # stale serves never inflate the real hit rate.
+        self.stale_hits = 0
+        self.degraded = 0
 
     # ------------------------------------------------------------------
     # Public, thread-safe operations
@@ -266,6 +271,31 @@ class CacheShard:
         with self._lock:
             return self._live_entry(key)[0] is not None
 
+    def peek_stale(self, key):
+        """(found, value) for ``key`` even if expired — non-destructively.
+
+        The stale-while-revalidate read: no policy events fire, no lazy
+        expiry runs, counters stay untouched, so probing for a stale
+        fallback before a loader attempt cannot perturb replacement
+        decisions (and cannot destroy the stale value the probe is
+        looking for, which the destructive :meth:`get` path would).
+        """
+        with self._lock:
+            way = self._key_to_way.get(key)
+            if way is None:
+                return False, None
+            return True, self._slots[way].value
+
+    def record_stale_serve(self) -> None:
+        """Count one expired entry served in degraded mode."""
+        with self._lock:
+            self.stale_hits += 1
+
+    def record_degraded(self) -> None:
+        """Count one request answered degraded (loader down, no stale)."""
+        with self._lock:
+            self.degraded += 1
+
     def occupancy(self) -> int:
         """Number of resident entries (expired-but-untouched included)."""
         with self._lock:
@@ -294,10 +324,99 @@ class CacheShard:
                 "deletes": self.deletes,
                 "evictions": self.evictions,
                 "expirations": self.expirations,
+                "stale_hits": self.stale_hits,
+                "degraded": self.degraded,
                 "occupancy": len(self._key_to_way),
                 "occupancy_bytes": self.bytes_used,
                 "policy_switches": self.selector_switches(),
             }
+
+    def state_dict(self) -> dict:
+        """Pickle-safe snapshot of the entire shard: entries, way
+        allocation, counters and the policy's replacement state.
+
+        TTLs are stored as *remaining* seconds relative to the shard
+        clock at snapshot time — monotonic clocks do not survive a
+        process restart, so absolute deadlines would be meaningless in
+        the recovering process. Already-expired-but-untouched entries
+        keep their (non-positive) remaining TTL and are restored still
+        expired, preserving lazy-expiry decision identity.
+
+        The free-list order is captured verbatim: way allocation is part
+        of the oracle-equivalence contract, so a restored shard must
+        hand out exactly the ways the original would have.
+        """
+        with self._lock:
+            now = self._clock()
+            entries = []
+            for entry in self._slots:
+                if entry is None:
+                    entries.append(None)
+                else:
+                    remaining = (
+                        None if entry.expires_at is None
+                        else entry.expires_at - now
+                    )
+                    entries.append(
+                        [entry.key, entry.value, entry.fingerprint,
+                         entry.size, remaining]
+                    )
+            return {
+                "entries": entries,
+                "free": list(self._free),
+                "bytes_used": self.bytes_used,
+                "counters": {
+                    "gets": self.gets,
+                    "hits": self.hits,
+                    "misses": self.misses,
+                    "puts": self.puts,
+                    "inserts": self.inserts,
+                    "updates": self.updates,
+                    "deletes": self.deletes,
+                    "evictions": self.evictions,
+                    "expirations": self.expirations,
+                    "stale_hits": self.stale_hits,
+                    "degraded": self.degraded,
+                },
+                "policy": self.policy.state_dict(),
+            }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this shard.
+
+        The shard must have been constructed with the same capacity and
+        an identically-configured policy; afterwards it issues the same
+        replacement decisions as the shard that produced the snapshot.
+        """
+        with self._lock:
+            now = self._clock()
+            self._key_to_way = {}
+            self.bytes_used = 0
+            for way, row in enumerate(state["entries"]):
+                if row is None:
+                    self._slots[way] = None
+                    continue
+                key, value, fingerprint, size, remaining = row
+                expires_at = None if remaining is None else now + remaining
+                self._slots[way] = _Entry(
+                    key, value, fingerprint, size, expires_at
+                )
+                self._key_to_way[key] = way
+            self.bytes_used = int(state["bytes_used"])
+            self._free = list(state["free"])
+            counters = state["counters"]
+            self.gets = int(counters["gets"])
+            self.hits = int(counters["hits"])
+            self.misses = int(counters["misses"])
+            self.puts = int(counters["puts"])
+            self.inserts = int(counters["inserts"])
+            self.updates = int(counters["updates"])
+            self.deletes = int(counters["deletes"])
+            self.evictions = int(counters["evictions"])
+            self.expirations = int(counters["expirations"])
+            self.stale_hits = int(counters["stale_hits"])
+            self.degraded = int(counters["degraded"])
+            self.policy.load_state_dict(state["policy"])
 
     # ------------------------------------------------------------------
     # Internals (caller holds the lock)

@@ -27,6 +27,11 @@ class KVCacheStats:
         deletes: explicit removals that found their key.
         evictions: entries displaced by capacity pressure.
         expirations: entries dropped because their TTL had passed.
+        stale_hits: expired entries served anyway by the resilience
+            layer (stale-while-revalidate); deliberately *not* counted
+            as hits, so the hit ratio keeps meaning "fresh answers".
+        degraded: requests answered in degraded mode (loader down and
+            no stale entry available to serve).
         policy_switches: imitation-target changes across all selectors
             (per-shard and, in sampled mode, the global one).
         occupancy: resident entries at snapshot time.
@@ -47,6 +52,8 @@ class KVCacheStats:
     deletes: int = 0
     evictions: int = 0
     expirations: int = 0
+    stale_hits: int = 0
+    degraded: int = 0
     policy_switches: int = 0
     occupancy: int = 0
     occupancy_bytes: int = 0
@@ -67,3 +74,10 @@ class KVCacheStats:
         if self.gets == 0:
             return 0.0
         return self.misses / self.gets
+
+    @property
+    def stale_ratio(self) -> float:
+        """Stale serves / gets; 0.0 when nothing was looked up."""
+        if self.gets == 0:
+            return 0.0
+        return self.stale_hits / self.gets

@@ -236,10 +236,11 @@ class ParallelRunner:
                     )
                     cached = ckpt.get(key)
                     if cached is not None:
-                        restored[(name, label)] = (
-                            checkpoint_mod.timing_from_dict(cached)
-                        )
-                        continue
+                        cell = checkpoint_mod.restore_timing_cell(cached, key)
+                        if cell is not None:
+                            restored[(name, label)] = cell
+                            continue
+                        ckpt.discard(key)
                 pending[name][label] = kwargs
 
         task_results = self._run_payloads(

@@ -97,6 +97,29 @@ class ReplacementPolicy(abc.ABC):
         override this.
         """
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of all replacement state.
+
+        Together with :meth:`load_state_dict` this is the contract that
+        makes checkpoint/resume and the online engine's crash recovery
+        *decision-identical*: a policy restored from a snapshot must
+        pick byte-identical victims to the instance that produced it.
+        Every built-in policy implements the pair; custom policies that
+        want to ride through :mod:`repro.online.persistence` snapshots
+        must too.
+        """
+        raise NotImplementedError(
+            f"policy {self.name!r} does not implement state_dict(); "
+            "snapshot/restore requires it"
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        raise NotImplementedError(
+            f"policy {self.name!r} does not implement load_state_dict(); "
+            "snapshot/restore requires it"
+        )
+
     def _check_slot(self, set_index: int, way: int) -> None:
         """Validate a (set, way) pair; shared guard for subclasses."""
         if not 0 <= set_index < self.num_sets:

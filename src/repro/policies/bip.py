@@ -60,3 +60,20 @@ class BIPPolicy(ReplacementPolicy):
     def victim(self, set_index: int, set_view: SetView) -> int:
         stamps = self._stamp[set_index]
         return min(set_view.valid_ways(), key=stamps.__getitem__)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot: stamps, both clocks and the RNG
+        stream position (the bimodal throttle draws once per fill)."""
+        return {
+            "clock": self._clock,
+            "cold_clock": self._cold_clock,
+            "stamp": [list(row) for row in self._stamp],
+            "rng": self._rng.state(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._clock = int(state["clock"])
+        self._cold_clock = int(state["cold_clock"])
+        self._stamp = [list(map(int, row)) for row in state["stamp"]]
+        self._rng.restore(state["rng"])

@@ -72,3 +72,15 @@ class FIFOPolicy(ReplacementPolicy):
                 return way
             way = nxt[way]
         raise ValueError("victim() called on a view with no valid ways")
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the per-set fill-order lists."""
+        return {
+            "nxt": [list(row) for row in self._nxt],
+            "prv": [list(row) for row in self._prv],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._nxt = [list(map(int, row)) for row in state["nxt"]]
+        self._prv = [list(map(int, row)) for row in state["prv"]]

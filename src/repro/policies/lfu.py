@@ -64,3 +64,17 @@ class LFUPolicy(ReplacementPolicy):
             set_view.valid_ways(),
             key=lambda way: (counts[way], stamps[way]),
         )
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of counters, clock and fill stamps."""
+        return {
+            "count": [list(row) for row in self._count],
+            "clock": self._clock,
+            "fill_stamp": [list(row) for row in self._fill_stamp],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._count = [list(map(int, row)) for row in state["count"]]
+        self._clock = int(state["clock"])
+        self._fill_stamp = [list(map(int, row)) for row in state["fill_stamp"]]

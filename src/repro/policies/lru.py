@@ -87,6 +87,18 @@ class LRUPolicy(ReplacementPolicy):
             way = nxt[way]
         raise ValueError("victim() called on a view with no valid ways")
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the per-set recency lists."""
+        return {
+            "nxt": [list(row) for row in self._nxt],
+            "prv": [list(row) for row in self._prv],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._nxt = [list(map(int, row)) for row in state["nxt"]]
+        self._prv = [list(map(int, row)) for row in state["prv"]]
+
     def recency_order(self, set_index: int, set_view: SetView) -> list:
         """Ways of the set ordered least- to most-recently used.
 

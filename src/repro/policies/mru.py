@@ -36,3 +36,15 @@ class MRUPolicy(ReplacementPolicy):
     def victim(self, set_index: int, set_view: SetView) -> int:
         stamps = self._stamp[set_index]
         return max(set_view.valid_ways(), key=stamps.__getitem__)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the recency clock and stamps."""
+        return {
+            "clock": self._clock,
+            "stamp": [list(row) for row in self._stamp],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._clock = int(state["clock"])
+        self._stamp = [list(map(int, row)) for row in state["stamp"]]

@@ -48,3 +48,11 @@ class SRRIPPolicy(ReplacementPolicy):
                     return way
             for way in candidates:
                 rrpvs[way] += 1
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the per-way RRPV counters."""
+        return {"rrpv": [list(row) for row in self._rrpv]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (JSON round-trip safe)."""
+        self._rrpv = [list(map(int, row)) for row in state["rrpv"]]

@@ -25,8 +25,11 @@ def atomic_output(path: Pathish, mode: str = "wb") -> Iterator[IO]:
 
     Yields a writable handle (binary by default, ``mode="w"`` for text).
     On clean exit the data is flushed, fsynced and moved over ``path``
-    with ``os.replace``; on any exception the temporary file is removed
-    and ``path`` is left untouched.
+    with ``os.replace``, then the parent directory is fsynced so the
+    rename itself is durable — without that, a power loss after the
+    replace can roll the *directory entry* back to the old file even
+    though the new data blocks were synced. On any exception the
+    temporary file is removed and ``path`` is left untouched.
     """
     target = os.fspath(path)
     directory = os.path.dirname(target) or "."
@@ -39,10 +42,30 @@ def atomic_output(path: Pathish, mode: str = "wb") -> Iterator[IO]:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, target)
+        _fsync_directory(directory)
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp)
         raise
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entries to disk (durable rename).
+
+    Best-effort: some platforms/filesystems refuse ``open`` or
+    ``fsync`` on directories (e.g. Windows); those writers keep the
+    pre-existing atomicity guarantee, just not rename durability.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def atomic_write_bytes(path: Pathish, data: bytes) -> None:

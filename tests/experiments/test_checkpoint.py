@@ -12,6 +12,7 @@ from repro.experiments.checkpoint import (
     SweepCheckpoint,
     active,
     active_checkpoint,
+    restore_timing_cell,
     timing_from_dict,
     timing_to_dict,
 )
@@ -73,6 +74,78 @@ class TestSweepCheckpoint:
         ckpt = SweepCheckpoint(tmp_path / "ck.json")
         ckpt.put("a", 1)
         assert sorted(p.name for p in tmp_path.iterdir()) == ["ck.json"]
+
+
+class TestOpenOrReset:
+    def test_clean_file_loads_normally(self, tmp_path):
+        path = tmp_path / "ck.json"
+        SweepCheckpoint(path).put("a", 1)
+        ckpt = SweepCheckpoint.open_or_reset(path)
+        assert ckpt.get("a") == 1
+
+    def test_missing_file_starts_fresh(self, tmp_path):
+        ckpt = SweepCheckpoint.open_or_reset(tmp_path / "ck.json")
+        assert len(ckpt) == 0
+
+    def test_corrupt_file_quarantined_not_raised(self, tmp_path, capsys):
+        path = tmp_path / "ck.json"
+        path.write_text("{ torn mid-wri")
+        ckpt = SweepCheckpoint.open_or_reset(path)
+        assert len(ckpt) == 0
+        assert "starting fresh" in capsys.readouterr().err
+        # The damaged file survives for inspection.
+        assert (tmp_path / "ck.json.corrupt").read_text() == "{ torn mid-wri"
+        # The fresh checkpoint is usable at the original path.
+        ckpt.put("a", 1)
+        assert SweepCheckpoint(path).get("a") == 1
+
+    def test_wrong_version_quarantined(self, tmp_path, capsys):
+        path = tmp_path / "ck.json"
+        path.write_text(
+            json.dumps({"version": CHECKPOINT_VERSION + 9, "cells": {}})
+        )
+        ckpt = SweepCheckpoint.open_or_reset(path)
+        assert len(ckpt) == 0
+        assert (tmp_path / "ck.json.corrupt").exists()
+
+
+class TestRestoreTimingCell:
+    def test_valid_payload_restores(self):
+        result = TimingResult(
+            name="lucas", instructions=1000, cycles=2500.0,
+            l2_accesses=80, l2_misses=13, breakdown={"memory": 3.0},
+        )
+        assert restore_timing_cell(timing_to_dict(result), "k") == result
+
+    @pytest.mark.parametrize("payload", [
+        {"name": "x"},                      # missing fields
+        "not even a dict",                  # wrong type entirely
+        {"name": "x", "instructions": "a lot", "cycles": 1.0,
+         "l2_accesses": 1, "l2_misses": 0, "breakdown": {}},  # bad int
+        None,
+    ])
+    def test_damaged_payload_warns_and_returns_none(self, payload, capsys):
+        assert restore_timing_cell(payload, "cell/x/y") is None
+        err = capsys.readouterr().err
+        assert "cell/x/y" in err
+        assert "resimulating" in err
+
+    def test_sweep_resumes_past_corrupt_cell(self, tmp_path, capsys):
+        """A torn cell inside a valid checkpoint is recomputed, not fatal."""
+        setup = base.make_setup("mini", accesses=1000)
+        cache = base.WorkloadCache(setup)
+        specs = {"LRU": {"policy_kind": "lru"}}
+        ckpt = SweepCheckpoint(tmp_path / "ck.json")
+        key = ckpt.cell_key("cell", "exp", setup.name, setup.accesses,
+                            "lucas", "LRU")
+        ckpt.put(key, {"name": "lucas", "garbage": True})
+        with active_checkpoint(ckpt, experiment="exp"):
+            results = base.run_policy_sweep(cache, ["lucas"], specs)
+        assert results["lucas"]["LRU"].l2_accesses > 0
+        assert "resimulating" in capsys.readouterr().err
+        # The healed cell replaced the damaged one on disk.
+        healed = SweepCheckpoint(tmp_path / "ck.json").get(key)
+        assert restore_timing_cell(healed, key) is not None
 
 
 class TestActiveCheckpoint:

@@ -1,0 +1,283 @@
+"""Tests for the resilient serving layer.
+
+The ladder under test: fresh hit, then retried loader, then
+stale-while-unavailable, then an honest ``LoaderUnavailable`` counted
+as degraded — with per-shard circuit breakers deciding whether the
+loader runs at all, and quarantine/rebuild taking whole shards out of
+and back into service. Clocks and sleeps are injected everywhere, so
+every timing behavior is deterministic.
+"""
+
+import pytest
+
+from repro.online.engine import AdaptiveKVCache
+from repro.online.resilience import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    LoaderUnavailable,
+    ResilientKVCache,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        """Move time forward."""
+        self.now += seconds
+
+
+class FlappingLoader:
+    """A scripted loader: fails until ``failures`` runs out."""
+
+    def __init__(self, failures=0):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, key):
+        self.calls += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise ConnectionError("backend down")
+        return f"value-of-{key}"
+
+
+def _resilient(failures=0, attempts=3, threshold=5, cooldown=30.0,
+               default_ttl=None):
+    """A small harness: cache, wrapper, loader, clock, sleep log."""
+    clock = FakeClock()
+    sleeps = []
+    cache = AdaptiveKVCache(
+        capacity_entries=32, num_shards=4, policy="adaptive",
+        default_ttl=default_ttl, clock=clock,
+    )
+    wrapper = ResilientKVCache(
+        cache,
+        retry=RetryPolicy(attempts=attempts, backoff=0.05),
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=threshold, recovery_timeout=cooldown,
+            clock=clock,
+        ),
+        sleep=sleeps.append,
+        clock=clock,
+    )
+    return wrapper, FlappingLoader(failures), clock, sleeps
+
+
+class TestRetryPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"attempts": 0}, {"backoff": -1.0}, {"multiplier": 0.5},
+        {"budget": 0.0},
+    ])
+    def test_bad_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_states_constant(self):
+        assert BREAKER_STATES == ("closed", "open", "half_open")
+
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, recovery_timeout=10,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_recloses_or_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=10,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(10)
+        assert breaker.state == "half_open" and breaker.allow()
+        breaker.record_failure()  # probe fails: straight back to open
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        clock.advance(10)
+        breaker.record_success()  # probe succeeds: closed again
+        assert breaker.state == "closed"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0}, {"recovery_timeout": 0.0},
+    ])
+    def test_bad_arguments_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)
+
+
+class TestServingLadder:
+    def test_happy_path_loads_once_then_hits(self):
+        wrapper, loader, _clock, sleeps = _resilient()
+        assert wrapper.get_or_compute("k", loader) == "value-of-k"
+        assert wrapper.get_or_compute("k", loader) == "value-of-k"
+        assert loader.calls == 1
+        assert sleeps == []
+
+    def test_transient_failures_retried_with_backoff(self):
+        wrapper, loader, _clock, sleeps = _resilient(failures=2, attempts=3)
+        assert wrapper.get_or_compute("k", loader) == "value-of-k"
+        assert loader.calls == 3
+        assert sleeps == [0.05, 0.10]
+
+    def test_exhausted_retries_without_stale_raise(self):
+        wrapper, loader, _clock, _sleeps = _resilient(failures=99, attempts=2)
+        with pytest.raises(LoaderUnavailable):
+            wrapper.get_or_compute("k", loader)
+        assert loader.calls == 2
+        assert wrapper.stats().degraded == 1
+
+    def test_stale_entry_served_when_loader_down(self):
+        wrapper, loader, clock, _sleeps = _resilient(
+            failures=99, attempts=1, default_ttl=5.0
+        )
+        wrapper.put("k", "cached")
+        clock.advance(10.0)  # the entry is now expired
+        before = wrapper.stats()
+        assert wrapper.get_or_compute("k", loader) == "cached"
+        after = wrapper.stats()
+        assert after.stale_hits == before.stale_hits + 1
+        # Regression: a stale serve must not inflate the fresh-hit
+        # count — the real lookup was a miss and stays one.
+        assert after.hits == before.hits
+        assert after.hits + after.misses == after.gets
+        assert after.stale_ratio > 0
+
+    def test_retry_budget_caps_attempts(self):
+        clock = FakeClock()
+        cache = AdaptiveKVCache(capacity_entries=32, num_shards=4,
+                                clock=clock)
+
+        def slow_sleep(seconds):
+            clock.advance(seconds + 1.0)
+
+        wrapper = ResilientKVCache(
+            cache,
+            retry=RetryPolicy(attempts=5, backoff=0.1, budget=0.5),
+            sleep=slow_sleep, clock=clock,
+        )
+        loader = FlappingLoader(failures=99)
+        with pytest.raises(LoaderUnavailable):
+            wrapper.get_or_compute("k", loader)
+        # First attempt plus one retry; the budget then stops the rest.
+        assert loader.calls == 2
+
+
+class TestBreakerIntegration:
+    def test_open_breaker_skips_the_loader(self):
+        wrapper, loader, _clock, _sleeps = _resilient(
+            failures=99, attempts=1, threshold=2
+        )
+        for _ in range(2):
+            with pytest.raises(LoaderUnavailable):
+                wrapper.get_or_compute("k", loader)
+        calls_when_tripped = loader.calls
+        index = wrapper._shard_index("k")
+        assert wrapper.breakers[index].state == "open"
+        with pytest.raises(LoaderUnavailable):
+            wrapper.get_or_compute("k", loader)
+        assert loader.calls == calls_when_tripped  # loader never ran
+
+    def test_cooldown_probe_recloses_breaker(self):
+        wrapper, loader, clock, _sleeps = _resilient(
+            failures=2, attempts=1, threshold=2, cooldown=30.0
+        )
+        for _ in range(2):
+            with pytest.raises(LoaderUnavailable):
+                wrapper.get_or_compute("k", loader)
+        clock.advance(31.0)
+        assert wrapper.get_or_compute("k", loader) == "value-of-k"
+        index = wrapper._shard_index("k")
+        assert wrapper.breakers[index].state == "closed"
+
+
+class TestQuarantine:
+    def test_quarantined_shard_serves_nothing(self):
+        wrapper, loader, _clock, _sleeps = _resilient()
+        wrapper.put("k", "v")
+        index = wrapper._shard_index("k")
+        wrapper.quarantine(index)
+        assert wrapper.get("k", default="fallback") == "fallback"
+        assert "k" not in wrapper
+        assert not wrapper.delete("k")
+        wrapper.put("k", "ignored")  # dropped, not an error
+        with pytest.raises(LoaderUnavailable):
+            wrapper.get_or_compute("k", loader)
+        assert loader.calls == 0
+        assert wrapper.stats().degraded >= 2
+
+    def test_rebuild_empty_returns_to_service(self):
+        wrapper, loader, _clock, _sleeps = _resilient()
+        wrapper.put("k", "v")
+        index = wrapper._shard_index("k")
+        wrapper.quarantine(index)
+        wrapper.rebuild(index)
+        assert wrapper.quarantined() == frozenset()
+        assert wrapper.get("k") is None  # rebuilt empty
+        assert wrapper.get_or_compute("k", loader) == "value-of-k"
+
+    def test_rebuild_from_snapshot_state_restores_entries(self):
+        wrapper, loader, _clock, _sleeps = _resilient()
+        wrapper.put("k", "precious", ttl=10_000.0)
+        index = wrapper._shard_index("k")
+        shard_state = wrapper.engine.state_dict()["shards"][index]
+        wrapper.quarantine(index)
+        wrapper.rebuild(index, shard_state)
+        assert wrapper.get("k") == "precious"
+        assert loader.calls == 0
+
+    def test_out_of_range_index_rejected(self):
+        wrapper, _loader, _clock, _sleeps = _resilient()
+        with pytest.raises(IndexError):
+            wrapper.quarantine(99)
+
+    def test_bad_ready_fraction_rejected(self):
+        cache = AdaptiveKVCache(capacity_entries=32, num_shards=4)
+        with pytest.raises(ValueError):
+            ResilientKVCache(cache, min_ready_fraction=0.0)
+
+
+class TestHealthProbes:
+    def test_health_shape_and_readiness(self):
+        wrapper, _loader, _clock, _sleeps = _resilient()
+        health = wrapper.health()
+        assert len(health["shards"]) == 4
+        assert health["quarantined"] == []
+        assert health["ready"] is True
+        assert wrapper.ready()
+
+        wrapper.quarantine(0)
+        wrapper.quarantine(1)
+        assert wrapper.ready()  # 2 of 4 serving, default floor is half
+        wrapper.quarantine(2)
+        assert not wrapper.ready()
+        health = wrapper.health()
+        assert health["quarantined"] == [0, 1, 2]
+        assert health["ready"] is False
+
+    def test_len_and_stats_passthrough(self):
+        wrapper, _loader, _clock, _sleeps = _resilient()
+        wrapper.put("a", 1)
+        wrapper.put("b", 2)
+        assert len(wrapper) == 2
+        assert wrapper.stats().puts == 2
