@@ -1,0 +1,50 @@
+"""Bench: replicated cluster hit rate and throughput (ext_cluster).
+
+Claim under test: replication buys crash resilience — with a member
+killed mid-stream, replication >= 2 keeps availability at 100% and
+loses markedly fewer hit-points than an unreplicated cluster — at a
+throughput cost that scales with the replication factor (every write
+fans out to each owner).
+"""
+
+from repro.experiments import ext_cluster
+
+from conftest import run_and_report
+
+
+def test_ext_cluster(benchmark, bench_setup):
+    def runner():
+        return ext_cluster.run(setup=bench_setup)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "r1_healthy_ops_per_sec": _cell(r, 1, "none")[4],
+            "r3_healthy_ops_per_sec": _cell(r, 3, "none")[4],
+            "r3_healthy_hit_pct": _cell(r, 3, "none")[3],
+            "r1_crash_hit_cost_pct": ext_cluster.crash_hit_cost(r, 1),
+            "r3_crash_hit_cost_pct": ext_cluster.crash_hit_cost(r, 3),
+            "r3_kill_availability_pct": _cell(r, 3, "kill")[5],
+        },
+    )
+    for row in result.rows:
+        assert row[3] > 0  # hit %
+        assert row[4] > 0  # ops/sec
+    # Replication >= 2 rides out the crash with full availability;
+    # the unreplicated cluster cannot do better than the replicated.
+    for replication in (2, 3):
+        assert _cell(result, replication, "kill")[5] == 100.0
+    assert (_cell(result, 1, "kill")[5]
+            <= _cell(result, 2, "kill")[5])
+    # The crash costs the unreplicated cluster more hit rate than the
+    # fully replicated one.
+    assert (ext_cluster.crash_hit_cost(result, 3)
+            <= ext_cluster.crash_hit_cost(result, 1))
+
+
+def _cell(result, replication, chaos):
+    return next(
+        row for row in result.rows
+        if row[0] == replication and row[1] == chaos
+    )

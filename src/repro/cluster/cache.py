@@ -1,0 +1,450 @@
+"""The replicated cluster cache: routing, quorums, hedging, repair.
+
+:class:`ClusterKVCache` is the client-facing router over a set of
+:class:`~repro.cluster.node.ClusterNode` members arranged on a
+consistent-hash :class:`~repro.cluster.ring.HashRing`:
+
+* **Writes** go to the key's N-owner preference list and are **acked**
+  only when at least ``write_quorum`` owners applied them; a write
+  that falls short raises :class:`WriteQuorumError` (replicas that did
+  apply it keep their versioned copies — they are real writes, just
+  not acknowledged ones).
+* **Reads** consult owners in preference order, stopping at the first
+  replica that answers. A **hedged read** duplicates the request to
+  the next replica when an owner's circuit breaker is open, the owner
+  is unreachable, or its (simulated-clock) latency sample exceeds the
+  ``hedge_after`` budget — the serving reply is whichever arrives
+  first, so one straggler cannot drag the tail.
+* **Read-repair** runs after every read: the key's resident replicas
+  are *peeked* (no policy events) and any owner holding an older
+  version than the winner is rewritten with it, so divergence created
+  by partitions or missed writes converges during normal traffic. A
+  replica missing the key entirely is left alone — re-inserting
+  evicted entries on every read would fight the replacement policy;
+  the rebalance sweep (rejoin, membership change) refills those.
+
+Failures are tracked per node by the same
+:class:`~repro.online.resilience.CircuitBreaker` the single-node
+resilience layer uses (including its single-probe half-open), so a
+dead or flaky member stops eating latency budget after a few failures
+and hedges engage immediately.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.latency import LatencyModel, VirtualClock
+from repro.cluster.network import ClusterController, ClusterView
+from repro.cluster.node import ClusterNode
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.stats import ClusterStats
+from repro.online.resilience import CircuitBreaker
+
+
+class WriteQuorumError(RuntimeError):
+    """A write reached fewer than ``write_quorum`` owners (not acked)."""
+
+    def __init__(self, key, version: int, acks: int, quorum: int):
+        super().__init__(
+            f"write of {key!r} (version {version}) got {acks} ack(s), "
+            f"quorum is {quorum}"
+        )
+        self.key = key
+        self.version = version
+        self.acks = acks
+        self.quorum = quorum
+
+
+class ClusterKVCache:
+    """A fault-tolerant cache cluster behind one cache-shaped API.
+
+    Args:
+        num_nodes: initial member count (ids ``n0`` .. ``n{k-1}``).
+        replication: replicas per key (capped at the member count).
+        write_quorum: acks required before a write counts as acked;
+            default is a majority of ``replication``.
+        read_fanout: replicas consulted on a read before declaring a
+            miss (first *found* reply is served; default 2).
+        capacity_per_node: entry capacity of each member's cache.
+        policy: per-node engine policy kind.
+        components: adaptive component policies.
+        partial_bits: shadow-directory fingerprint width.
+        vnodes: virtual nodes per member on the ring.
+        seed: base seed; node ``i`` seeds its machinery with
+            ``seed + i``.
+        directory: when given, every node persists under
+            ``directory/<node_id>`` (snapshots + WAL) and can crash
+            and recover; ``None`` keeps members memory-only.
+        snapshot_every: per-node automatic snapshot cadence.
+        wal_flush_ops: per-node WAL flush cadence (1 = every write
+            durable before acked — what the CI SIGKILL smoke uses).
+        hedge_after: latency budget, simulated seconds; a primary
+            sample above it triggers a hedged read. None disables
+            latency hedging (breaker/unreachable hedging stays on).
+        latency_factory: ``node_index -> LatencyModel`` override; the
+            default gives every node a uniform 1 ms model.
+        breaker_factory: builds one node breaker; the default trips
+            after 3 consecutive failures with a 5-simulated-second
+            cooldown on the cluster clock.
+        clock: the simulated clock; a fresh
+            :class:`~repro.cluster.latency.VirtualClock` if omitted.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        replication: int = 3,
+        write_quorum: Optional[int] = None,
+        read_fanout: int = 2,
+        capacity_per_node: int = 64,
+        policy: str = "adaptive",
+        components: Sequence[str] = ("lru", "lfu"),
+        partial_bits: Optional[int] = 16,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+        directory: Optional[str] = None,
+        snapshot_every: Optional[int] = 400,
+        wal_flush_ops: int = 8,
+        hedge_after: Optional[float] = None,
+        latency_factory: Optional[Callable[[int], LatencyModel]] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = None,
+        clock: Optional[VirtualClock] = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        replication = min(replication, num_nodes)
+        if write_quorum is None:
+            write_quorum = replication // 2 + 1
+        if not 1 <= write_quorum <= replication:
+            raise ValueError(
+                f"write_quorum must be in [1, {replication}], "
+                f"got {write_quorum}"
+            )
+        if read_fanout < 1:
+            raise ValueError(f"read_fanout must be >= 1, got {read_fanout}")
+        self.replication = replication
+        self.write_quorum = write_quorum
+        self.read_fanout = min(read_fanout, replication)
+        self.hedge_after = hedge_after
+        self.clock = clock if clock is not None else VirtualClock()
+        if latency_factory is None:
+            latency_factory = lambda index: LatencyModel(  # noqa: E731
+                base=0.001, seed=seed + 7919 * index
+            )
+        if breaker_factory is None:
+            breaker_factory = lambda: CircuitBreaker(  # noqa: E731
+                failure_threshold=3, recovery_timeout=5.0, clock=self.clock
+            )
+        self._breaker_factory = breaker_factory
+
+        self.ring = HashRing(vnodes=vnodes)
+        self.nodes: Dict[str, ClusterNode] = {}
+        for index in range(num_nodes):
+            node_id = f"n{index}"
+            node_dir = (
+                None if directory is None
+                else os.path.join(os.fspath(directory), node_id)
+            )
+            self.nodes[node_id] = ClusterNode(
+                node_id,
+                capacity_entries=capacity_per_node,
+                policy=policy,
+                components=components,
+                partial_bits=partial_bits,
+                seed=seed + index,
+                directory=node_dir,
+                snapshot_every=snapshot_every,
+                wal_flush_ops=wal_flush_ops,
+                latency=latency_factory(index),
+                clock=self.clock,
+            )
+            self.ring.add_node(node_id)
+        self.view = ClusterView(self.ring, self.nodes)
+        self.controller = ClusterController(
+            self.ring, self.nodes, replication, view=self.view
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {
+            node_id: breaker_factory() for node_id in self.nodes
+        }
+        self._seq = 0
+        self._stats = ClusterStats()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _next_version(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _breaker(self, node_id: str) -> CircuitBreaker:
+        breaker = self.breakers.get(node_id)
+        if breaker is None:
+            breaker = self._breaker_factory()
+            self.breakers[node_id] = breaker
+        return breaker
+
+    def _owners(self, key) -> List[str]:
+        return self.view.owners(key, self.replication)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def put(self, key, value) -> int:
+        """Replicate ``value`` to the key's owners; ack on quorum.
+
+        Returns:
+            The version the write was issued at (acked).
+
+        Raises:
+            WriteQuorumError: fewer than ``write_quorum`` owners
+                applied the write. Owners that did apply it keep their
+                copies — the version is real, just unacknowledged.
+        """
+        owners = self._owners(key)
+        self._stats.writes += 1
+        version = self._next_version()
+        acks = 0
+        worst_latency = 0.0
+        for node_id in owners:
+            node = self.nodes[node_id]
+            breaker = self._breaker(node_id)
+            if not self.view.is_reachable(node_id):
+                breaker.record_failure()
+                continue
+            if not breaker.allow():
+                continue
+            try:
+                if node.latency is not None:
+                    worst_latency = max(worst_latency, node.latency.sample())
+                node.put(key, version, value)
+            except Exception:  # noqa: BLE001 — replica boundary
+                breaker.record_failure()
+                continue
+            breaker.record_success()
+            acks += 1
+        self.clock.advance(worst_latency)
+        if acks == 0 and not any(
+            self.view.is_reachable(node_id) for node_id in owners
+        ):
+            self._stats.unavailable += 1
+        if acks >= self.write_quorum:
+            self._stats.acked_writes += 1
+            return version
+        self._stats.failed_writes += 1
+        raise WriteQuorumError(key, version, acks, self.write_quorum)
+
+    def delete(self, key) -> bool:
+        """Remove ``key`` from every reachable owner."""
+        removed = False
+        for node_id in self._owners(key):
+            if not self.view.is_reachable(node_id):
+                continue
+            try:
+                removed = self.nodes[node_id].delete(key) or removed
+            except Exception:  # noqa: BLE001 — replica boundary
+                self._breaker(node_id).record_failure()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key, default=None):
+        """Read ``key`` from the cluster (first found reply wins)."""
+        found, _version, value, _consulted = self.get_details(key)
+        return value if found else default
+
+    def get_details(self, key) -> Tuple[bool, Optional[int], object, List[str]]:
+        """Read with full provenance: (found, version, value, consulted).
+
+        The mechanics behind :meth:`get`; chaos campaigns use the
+        version and consulted-replica list for their invariants.
+        """
+        owners = self._owners(key)
+        self._stats.reads += 1
+        replies: List[Tuple[str, bool, Optional[tuple], float]] = []
+        budget = self.read_fanout
+        hedged = False
+        # Pending hedge consults: a slow primary answers, but the
+        # request is still duplicated to the next replica (ignoring
+        # the usual stop-on-found), and the faster reply serves.
+        pending_hedge = 0
+        first_latency: Optional[float] = None
+        for position, node_id in enumerate(owners):
+            if pending_hedge == 0:
+                if any(reply[1] for reply in replies):
+                    break  # a found reply and no hedge outstanding
+                if len(replies) >= budget:
+                    break
+            node = self.nodes[node_id]
+            breaker = self._breaker(node_id)
+            if not self.view.is_reachable(node_id):
+                breaker.record_failure()
+                if position == 0 and not hedged:
+                    hedged = True
+                    self._stats.hedged_reads += 1
+                continue
+            if not breaker.allow():
+                if position == 0 and not hedged:
+                    hedged = True
+                    self._stats.hedged_reads += 1
+                continue
+            latency = (
+                node.latency.sample() if node.latency is not None else 0.0
+            )
+            try:
+                found, record = node.get(key)
+            except Exception:  # noqa: BLE001 — replica boundary
+                breaker.record_failure()
+                if position == 0 and not hedged:
+                    hedged = True
+                    self._stats.hedged_reads += 1
+                continue
+            breaker.record_success()
+            replies.append((node_id, found, record, latency))
+            if position == 0:
+                first_latency = latency
+                if (self.hedge_after is not None
+                        and latency > self.hedge_after and not hedged):
+                    # Slow primary: duplicate the request to the next
+                    # replica even though the primary did answer.
+                    hedged = True
+                    self._stats.hedged_reads += 1
+                    pending_hedge = 1
+            elif pending_hedge > 0:
+                pending_hedge -= 1
+
+        consulted = [reply[0] for reply in replies]
+        found_replies = [reply for reply in replies if reply[1]]
+        if not replies and not any(
+            self.view.is_reachable(node_id) for node_id in owners
+        ):
+            self._stats.unavailable += 1
+        if found_replies:
+            # Served by whichever found reply arrives first.
+            serving = min(found_replies, key=lambda reply: reply[3])
+            self.clock.advance(serving[3])
+            if hedged and first_latency is not None \
+                    and serving[3] < first_latency:
+                self._stats.hedge_wins += 1
+            self._stats.read_hits += 1
+            version, value = serving[2]
+            self._read_repair(key, owners, version, value)
+            return True, version, value, consulted
+        if replies:
+            self.clock.advance(max(reply[3] for reply in replies))
+        self._stats.read_misses += 1
+        self._repair_from_peers(key, owners)
+        return False, None, None, consulted
+
+    def _read_repair(self, key, owners: List[str], version: int,
+                     value) -> None:
+        """Converge owners holding an *older* version than the winner.
+
+        Replicas are peeked (no policy events), so the scan itself
+        never perturbs replacement decisions; only genuinely divergent
+        owners take a converging write. The winner may itself be
+        superseded by a peeked replica — then the newer record wins
+        and the serving replica is repaired too.
+        """
+        best_version, best_value = version, value
+        holders: List[Tuple[str, int]] = []
+        for node_id in owners:
+            node = self.nodes[node_id]
+            if node.status == "down":
+                continue
+            found, record = node.peek(key)
+            if not found:
+                continue
+            holders.append((node_id, record[0]))
+            if record[0] > best_version:
+                best_version, best_value = record
+        for node_id, held_version in holders:
+            if held_version >= best_version:
+                continue
+            if not self.view.is_reachable(node_id):
+                continue
+            try:
+                self.nodes[node_id].put(key, best_version, best_value)
+            except Exception:  # noqa: BLE001 — replica boundary
+                self._breaker(node_id).record_failure()
+                continue
+            self._stats.read_repairs += 1
+
+    def _repair_from_peers(self, key, owners: List[str]) -> None:
+        """After a miss, still converge any divergent resident copies."""
+        best: Optional[tuple] = None
+        for node_id in owners:
+            found, record = self.nodes[node_id].peek(key)
+            if found and (best is None or record[0] > best[0]):
+                best = record
+        if best is not None:
+            self._read_repair(key, owners, best[0], best[1])
+
+    def get_or_compute(self, key, loader):
+        """Read-through: on a cluster-wide miss, load and replicate.
+
+        A quorum failure on the fill write does not fail the request —
+        the computed value is returned regardless (and counted as a
+        failed write); the next read simply misses again.
+        """
+        found, _version, value, _consulted = self.get_details(key)
+        if found:
+            return value
+        value = loader(key)
+        try:
+            self.put(key, value)
+        except WriteQuorumError:
+            pass
+        return value
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection
+    # ------------------------------------------------------------------
+
+    def repair_sweep(self, keys=None) -> int:
+        """Run the controller's converging rebalance (see
+        :meth:`~repro.cluster.network.ClusterController.rebalance`)."""
+        return self.controller.rebalance(keys)
+
+    def stats(self) -> ClusterStats:
+        """Router counters plus every member's engine snapshot."""
+        snapshot = ClusterStats(
+            reads=self._stats.reads,
+            read_hits=self._stats.read_hits,
+            read_misses=self._stats.read_misses,
+            writes=self._stats.writes,
+            acked_writes=self._stats.acked_writes,
+            failed_writes=self._stats.failed_writes,
+            hedged_reads=self._stats.hedged_reads,
+            hedge_wins=self._stats.hedge_wins,
+            read_repairs=self._stats.read_repairs,
+            unavailable=self._stats.unavailable,
+            breaker_trips=sum(
+                breaker.trips for breaker in self.breakers.values()
+            ),
+            per_node=self.view.node_stats(),
+        )
+        return snapshot
+
+    def close(self) -> None:
+        """Flush and release every member's persistence, if any."""
+        for node in self.nodes.values():
+            if node.status != "down":
+                node.close()
+
+    def __enter__(self) -> "ClusterKVCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        """Distinct keys resident on at least one member."""
+        return len(self.view.resident_keys())

@@ -1,0 +1,80 @@
+"""Simulated time for the cluster: virtual clock and latency models.
+
+The cluster is a *simulation* of a distributed cache, so time is
+virtual: a :class:`VirtualClock` advances only when the router charges
+it for a served request, and every node carries a seeded
+:class:`LatencyModel` whose samples stand in for network + service
+time. That keeps the whole stack deterministic — hedging decisions,
+circuit-breaker cooldowns and TTLs all read the same injectable clock,
+exactly like the ``clock=`` hooks the online engine already exposes —
+while still letting tests model a slow replica (raise ``base``), a
+tail-latency straggler (raise ``spike_rate``/``spike``), or a healthy
+peer.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import DeterministicRNG
+
+
+class VirtualClock:
+    """A manually advanced monotonic clock (seconds are simulated)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move simulated time forward."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}")
+        self._now += seconds
+
+
+class LatencyModel:
+    """Seeded per-request latency samples for one node.
+
+    Most requests take ``base`` seconds; a ``spike_rate`` fraction
+    take ``base + spike`` (the tail). Identical seeds give identical
+    sample streams, so hedging behaviour is reproducible run to run.
+
+    Args:
+        base: common-case request latency, seconds.
+        spike: extra latency a tail request pays, seconds.
+        spike_rate: probability of a tail request.
+        seed: deterministic seed.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.001,
+        spike: float = 0.05,
+        spike_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        if base < 0 or spike < 0:
+            raise ValueError("latencies must be >= 0")
+        if not 0.0 <= spike_rate <= 1.0:
+            raise ValueError(
+                f"spike_rate must be in [0,1], got {spike_rate}"
+            )
+        self.base = base
+        self.spike = spike
+        self.spike_rate = spike_rate
+        self._rng = DeterministicRNG(seed)
+        self.samples = 0
+        self.spikes = 0
+
+    def sample(self) -> float:
+        """One request's simulated latency."""
+        self.samples += 1
+        if self.spike_rate > 0.0 and self._rng.random() < self.spike_rate:
+            self.spikes += 1
+            return self.base + self.spike
+        return self.base

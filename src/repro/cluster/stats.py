@@ -1,0 +1,61 @@
+"""Cluster-level counters, merged with per-node engine snapshots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.online.stats import KVCacheStats
+
+
+@dataclass
+class ClusterStats:
+    """One snapshot of the router's counters plus every node's engine.
+
+    Attributes:
+        reads: cluster ``get`` requests served.
+        read_hits: reads answered from some replica.
+        read_misses: reads no consulted replica could answer.
+        writes: cluster ``put`` requests issued.
+        acked_writes: writes that reached the write quorum.
+        failed_writes: writes that fell short of the quorum (the
+            client was *not* acked; surviving partial replicas are
+            legal — they carry real versions).
+        hedged_reads: reads that consulted an extra replica because
+            the primary's breaker was open, the primary was
+            unreachable, or its latency sample blew the hedge budget.
+        hedge_wins: hedged reads where the backup replica answered
+            faster than the primary would have.
+        read_repairs: stale or missing replica entries rewritten with
+            the winning version during reads.
+        unavailable: requests (read or write) that found no reachable
+            replica at all.
+        breaker_trips: circuit-breaker trips across node breakers.
+        per_node: each member's merged
+            :class:`~repro.online.stats.KVCacheStats` (None for a
+            crashed node).
+    """
+
+    reads: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    acked_writes: int = 0
+    failed_writes: int = 0
+    hedged_reads: int = 0
+    hedge_wins: int = 0
+    read_repairs: int = 0
+    unavailable: int = 0
+    breaker_trips: int = 0
+    per_node: Dict[str, Optional[KVCacheStats]] = field(default_factory=dict)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fresh cluster-read hit fraction (0.0 when idle)."""
+        return self.read_hits / self.reads if self.reads else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests that found a reachable replica."""
+        total = self.reads + self.writes
+        return (total - self.unavailable) / total if total else 1.0

@@ -30,6 +30,7 @@ from repro.experiments import checkpoint as checkpoint_mod
 from repro.experiments import runner as runner_mod
 from repro.experiments import (
     ablations,
+    ext_cluster,
     ext_dip,
     ext_faults,
     ext_online,
@@ -75,6 +76,7 @@ EXPERIMENTS = {
     "ext-validate": ext_validate,
     "ext-faults": ext_faults,
     "ext-online": ext_online,
+    "ext-cluster": ext_cluster,
     "seeds": seed_sensitivity,
 }
 
@@ -93,7 +95,7 @@ def _run_result(name: str, args: argparse.Namespace):
     # ext-online takes key-stream names, not suite workload names, so the
     # suite-wide --workloads restriction does not apply to it either.
     if args.workloads and name not in ("fig7", "ext-shared", "ext-skew",
-                                       "ext-online"):
+                                       "ext-online", "ext-cluster"):
         kwargs["workloads"] = args.workloads
     if name == "ext-online" and getattr(args, "snapshot_dir", None):
         kwargs["snapshot_dir"] = args.snapshot_dir
@@ -150,14 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "report", "policies", "golden", "perf", "recover"],
+        + ["all", "report", "policies", "golden", "perf", "recover",
+           "cluster"],
         help="which table/figure to regenerate ('report' writes a "
         "markdown report of everything; 'policies' lists the "
         "registered replacement policies; 'golden' checks or "
         "regenerates the pinned golden-trace digests; 'perf' "
         "benchmarks the hot path and sweep and writes BENCH_perf.json; "
         "'recover' rebuilds a persisted online cache from --snapshot-dir "
-        "and prints its stats digest)",
+        "and prints its stats digest; 'cluster' streams a replicated "
+        "durable cluster under --cluster-dir with an acked-write "
+        "ledger, or with --verify recovers every member from disk and "
+        "asserts zero acked-write loss)",
     )
     parser.add_argument(
         "--out",
@@ -272,6 +278,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="with 'perf': shorter streams and a smaller sweep (CI mode)",
+    )
+    parser.add_argument(
+        "--cluster-dir",
+        default=None,
+        metavar="DIR",
+        help="with 'cluster': directory holding the member state "
+        "directories and the ACKS.jsonl acked-write ledger",
+    )
+    parser.add_argument(
+        "--cluster-nodes",
+        type=_positive_int,
+        default=5,
+        metavar="N",
+        help="with 'cluster': cluster membership (default 5)",
+    )
+    parser.add_argument(
+        "--replication",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="with 'cluster': replicas per key (default 3; the write "
+        "quorum is the majority)",
+    )
+    parser.add_argument(
+        "--cluster-ops",
+        type=_positive_int,
+        default=2000,
+        metavar="N",
+        help="with 'cluster': operations to stream (default 2000)",
+    )
+    parser.add_argument(
+        "--cluster-keys",
+        type=_positive_int,
+        default=48,
+        metavar="N",
+        help="with 'cluster': closed key-space size; member capacity "
+        "is sized above it so acked writes cannot be evicted "
+        "(default 48)",
+    )
+    parser.add_argument(
+        "--kill-node",
+        default=None,
+        metavar="ID",
+        help="with 'cluster': crash this member (WAL buffer dropped "
+        "un-flushed) at the stream midpoint and leave it down",
+    )
+    parser.add_argument(
+        "--partition-node",
+        default=None,
+        metavar="ID",
+        help="with 'cluster': partition this member at the 1/3 mark "
+        "and heal it at the 2/3 mark",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="with 'cluster': recover every member directory from its "
+        "snapshot+WAL chain and assert every ledger entry survives "
+        "(exit 1 on any acked-write loss)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="with 'cluster': stream and placement seed (default 0)",
     )
     parser.add_argument(
         "--perf-out",
@@ -437,6 +508,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_perf(args)
         if args.experiment == "recover":
             return _run_recover(args)
+        if args.experiment == "cluster":
+            from repro.experiments.cluster_cli import run_cluster
+
+            return run_cluster(args)
         return _run_experiments(args)
     finally:
         if args.trace_cache:

@@ -33,6 +33,7 @@ empty, or restored from a persisted snapshot's shard state.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Optional
 
@@ -85,9 +86,17 @@ class CircuitBreaker:
 
     Closed: calls flow. After ``failure_threshold`` *consecutive*
     failures the breaker opens: calls are refused for
-    ``recovery_timeout`` seconds, after which one probe call is let
-    through (half-open); its success recloses the breaker, its failure
-    reopens it for another cooldown.
+    ``recovery_timeout`` seconds, after which **exactly one** probe
+    call is let through (half-open); its success recloses the breaker,
+    its failure reopens it for another cooldown.
+
+    The single-probe guarantee is lock-guarded: when the cooldown
+    expires, concurrent callers race for one half-open trial token and
+    only the winner's :meth:`allow` returns True — the rest are
+    refused until the probe's outcome is recorded. Without the token a
+    thundering herd of callers would all see ``half_open`` and re-slam
+    the recovering backend with the very burst the breaker exists to
+    prevent.
 
     Args:
         failure_threshold: consecutive failures that trip the breaker.
@@ -112,37 +121,64 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.recovery_timeout = recovery_timeout
         self._clock = clock
+        self._lock = threading.Lock()
         self._failures = 0
         self._state = "closed"
         self._opened_at = 0.0
+        self._probe_inflight = False
         self.trips = 0
+
+    def _advance_locked(self) -> str:
+        """Apply cooldown expiry lazily; caller holds the lock."""
+        if (self._state == "open"
+                and self._clock() - self._opened_at >= self.recovery_timeout):
+            self._state = "half_open"
+            self._probe_inflight = False
+        return self._state
 
     @property
     def state(self) -> str:
         """Current state, cooldown expiry applied lazily."""
-        if (self._state == "open"
-                and self._clock() - self._opened_at >= self.recovery_timeout):
-            self._state = "half_open"
-        return self._state
+        with self._lock:
+            return self._advance_locked()
 
     def allow(self) -> bool:
-        """Whether a loader call may proceed right now."""
-        return self.state != "open"
+        """Whether a loader call may proceed right now.
+
+        In half-open, True for exactly one caller (the trial probe)
+        until :meth:`record_success` / :meth:`record_failure` settles
+        the probe's outcome.
+        """
+        with self._lock:
+            state = self._advance_locked()
+            if state == "open":
+                return False
+            if state == "half_open":
+                if self._probe_inflight:
+                    return False
+                self._probe_inflight = True
+            return True
 
     def record_success(self) -> None:
         """Note a successful loader call; recloses a half-open breaker."""
-        self._failures = 0
-        self._state = "closed"
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._probe_inflight = False
 
     def record_failure(self) -> None:
         """Note a failed loader call; may trip or re-trip the breaker."""
-        self._failures += 1
-        if self._state == "half_open" or self._failures >= self.failure_threshold:
-            if self._state != "open":
-                self.trips += 1
-            self._state = "open"
-            self._opened_at = self._clock()
-            self._failures = 0
+        with self._lock:
+            self._advance_locked()
+            self._failures += 1
+            if (self._state == "half_open"
+                    or self._failures >= self.failure_threshold):
+                if self._state != "open":
+                    self.trips += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._failures = 0
+                self._probe_inflight = False
 
 
 class ResilientKVCache:

@@ -12,11 +12,18 @@ guarantee by creating the temporary file in the destination directory.
 from __future__ import annotations
 
 import contextlib
+import errno
 import os
 import tempfile
+import warnings
 from typing import IO, Iterator, Union
 
 Pathish = Union[str, os.PathLike]
+
+# Whether this process has already warned that the filesystem refuses
+# directory fsync; the condition is filesystem-wide, so one warning per
+# process is signal and every further one is noise.
+_warned_dir_fsync = False
 
 
 @contextlib.contextmanager
@@ -53,17 +60,32 @@ def _fsync_directory(directory: str) -> None:
     """Flush a directory's entries to disk (durable rename).
 
     Best-effort: some platforms/filesystems refuse ``open`` or
-    ``fsync`` on directories (e.g. Windows); those writers keep the
-    pre-existing atomicity guarantee, just not rename durability.
+    ``fsync`` on directories — Windows rejects the open, and several
+    filesystems (certain network and overlay mounts) accept the open
+    but fail the fsync with ``EINVAL`` or ``ENOTSUP``. Those writers
+    keep the pre-existing atomicity guarantee, just not rename
+    durability; the degradation is announced once per process via a
+    :class:`RuntimeWarning` rather than by raising, so a harness run
+    on such a filesystem completes instead of dying on its first
+    artifact.
     """
+    global _warned_dir_fsync
     try:
         dir_fd = os.open(directory, os.O_RDONLY)
     except OSError:
         return
     try:
         os.fsync(dir_fd)
-    except OSError:
-        pass
+    except OSError as error:
+        if (not _warned_dir_fsync
+                and error.errno in (errno.EINVAL, errno.ENOTSUP)):
+            _warned_dir_fsync = True
+            warnings.warn(
+                f"filesystem rejects directory fsync ({error}); atomic "
+                "writes stay atomic but renames are not crash-durable",
+                RuntimeWarning,
+                stacklevel=3,
+            )
     finally:
         os.close(dir_fd)
 

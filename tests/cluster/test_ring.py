@@ -1,0 +1,174 @@
+"""Routing properties of the consistent-hash ring.
+
+The two properties the cluster's placement rests on, checked over
+Zipf key streams (the canonical skewed workload):
+
+* **Balance** — with virtual nodes, per-node load stays within a
+  constant factor of uniform (chi-square over the observed per-node
+  access counts, against the uniform expectation, stays bounded).
+* **Minimal movement** — a join or leave remaps only about K/n of the
+  keyspace; every remapped key's new preference list involves the
+  node that changed.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.online.keyspace import key_fingerprint
+from repro.workloads.keystreams import zipf_keys
+
+
+def build_ring(n, vnodes=DEFAULT_VNODES):
+    ring = HashRing(vnodes=vnodes)
+    for index in range(n):
+        ring.add_node(f"n{index}")
+    return ring
+
+
+def chi_square(counts, expected):
+    return sum((c - expected) ** 2 / expected for c in counts)
+
+
+class TestMembership:
+    def test_add_remove_roundtrip(self):
+        ring = build_ring(4)
+        assert len(ring) == 4
+        assert ring.node_ids() == ["n0", "n1", "n2", "n3"]
+        ring.remove_node("n2")
+        assert len(ring) == 3
+        assert "n2" not in ring
+        ring.add_node("n2")
+        assert ring.node_ids() == ["n0", "n1", "n2", "n3"]
+
+    def test_duplicate_and_missing_members_rejected(self):
+        ring = build_ring(2)
+        with pytest.raises(ValueError):
+            ring.add_node("n0")
+        with pytest.raises(KeyError):
+            ring.remove_node("nope")
+
+    def test_empty_ring_routes_nothing(self):
+        ring = HashRing()
+        assert ring.owners(123, 3) == []
+        with pytest.raises(LookupError):
+            ring.primary(123)
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestPreferenceLists:
+    def test_owners_distinct_and_capped(self):
+        ring = build_ring(4)
+        for key in range(200):
+            owners = ring.owners(key_fingerprint(key), 3)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+        # asking for more replicas than members caps at the membership
+        assert len(ring.owners(key_fingerprint(1), 10)) == 4
+
+    def test_placement_is_deterministic(self):
+        fingerprints = [key_fingerprint(k) for k in range(500)]
+        first = build_ring(5).assignment(fingerprints, 3)
+        second = build_ring(5).assignment(fingerprints, 3)
+        assert first == second
+
+    def test_primary_heads_the_preference_list(self):
+        ring = build_ring(5)
+        for key in range(100):
+            fingerprint = key_fingerprint(key)
+            assert ring.primary(fingerprint) == ring.owners(fingerprint, 3)[0]
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_keyspace_balance_over_zipf_stream(self, n):
+        """Chi-square of per-node keyspace share stays bounded.
+
+        The stream is Zipf (few hot keys, long tail), but fingerprints
+        scatter its *distinct keys* uniformly around the ring, so each
+        node's share of the touched keyspace should stay within a
+        constant factor of uniform. (Access-weighted load is a
+        property of the workload, not the ring: wherever the hottest
+        key lands serves its traffic.) The bound is loose —
+        consistent hashing trades perfect balance for minimal
+        movement — and catches gross imbalance like a collapsed arc.
+        """
+        ring = build_ring(n)
+        stream = zipf_keys(universe=4000, accesses=12000, alpha=1.1, seed=n)
+        keys = set(stream)
+        assert len(keys) > 1000  # the tail really is long
+        loads = Counter(ring.primary(key_fingerprint(k)) for k in keys)
+        assert len(loads) == n  # every node owns a share
+        expected = len(keys) / n
+        # Normalized chi-square: mean squared relative deviation.
+        statistic = chi_square(loads.values(), expected) / len(keys)
+        assert statistic < 0.08, dict(loads)
+        assert max(loads.values()) < 1.8 * expected
+        assert min(loads.values()) > 0.4 * expected
+
+    def test_more_vnodes_means_tighter_balance(self):
+        fingerprints = [key_fingerprint(("b", k)) for k in range(8000)]
+
+        def spread(vnodes):
+            ring = build_ring(5, vnodes=vnodes)
+            loads = Counter(ring.primary(fp) for fp in fingerprints)
+            expected = len(fingerprints) / 5
+            return chi_square(loads.values(), expected)
+
+        assert spread(128) < spread(4)
+
+
+class TestMinimalMovement:
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_join_moves_about_k_over_n(self, n):
+        """A join remaps ~K/(n+1) primaries, all onto the new node."""
+        fingerprints = [key_fingerprint(("m", k)) for k in range(6000)]
+        ring = build_ring(n)
+        before = [ring.primary(fp) for fp in fingerprints]
+        ring.add_node("joiner")
+        after = [ring.primary(fp) for fp in fingerprints]
+        moved = [
+            (a, b) for a, b in zip(before, after) if a != b
+        ]
+        expected = len(fingerprints) / (n + 1)
+        assert 0.4 * expected <= len(moved) <= 2.0 * expected
+        # every remapped key lands on the joiner — nothing else shuffles
+        assert all(b == "joiner" for _a, b in moved)
+
+    @pytest.mark.parametrize("n", [4, 7])
+    def test_leave_moves_only_the_leavers_keys(self, n):
+        fingerprints = [key_fingerprint(("m", k)) for k in range(6000)]
+        ring = build_ring(n)
+        before = [ring.primary(fp) for fp in fingerprints]
+        ring.remove_node("n1")
+        after = [ring.primary(fp) for fp in fingerprints]
+        moved = [(a, b) for a, b in zip(before, after) if a != b]
+        # exactly the departed node's keys move, nowhere else
+        assert all(a == "n1" for a, _b in moved)
+        assert {a for a in before if a == "n1"} == {"n1"}
+        expected = len(fingerprints) / n
+        assert 0.4 * expected <= len(moved) <= 2.0 * expected
+
+    def test_join_then_leave_restores_placement(self):
+        fingerprints = [key_fingerprint(("r", k)) for k in range(2000)]
+        ring = build_ring(5)
+        before = ring.assignment(fingerprints, 3)
+        ring.add_node("transient")
+        ring.remove_node("transient")
+        assert ring.assignment(fingerprints, 3) == before
+
+    def test_replica_lists_mostly_stable_across_join(self):
+        """Non-primary replicas barely move either: the fraction of
+        keys whose 3-owner preference list changes at all is ~3K/(n+1),
+        not a full reshuffle."""
+        fingerprints = [key_fingerprint(("s", k)) for k in range(6000)]
+        ring = build_ring(7)
+        before = ring.assignment(fingerprints, 3)
+        ring.add_node("joiner")
+        after = ring.assignment(fingerprints, 3)
+        changed = sum(1 for a, b in zip(before, after) if a != b)
+        assert changed <= 2.0 * 3 * len(fingerprints) / 8

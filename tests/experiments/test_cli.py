@@ -14,7 +14,8 @@ class TestCli:
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "sec44", "sec46", "sec47", "storage", "theory",
             "ablations", "ext-shared", "ext-prefetch", "ext-dip", "ext-skew",
-            "ext-validate", "ext-faults", "ext-online", "seeds",
+            "ext-validate", "ext-faults", "ext-online", "ext-cluster",
+            "seeds",
         }
         assert set(EXPERIMENTS) == expected
 

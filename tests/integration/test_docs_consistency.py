@@ -14,6 +14,7 @@ class TestDocsExist:
         names = sorted(p.name for p in DOCS.glob("*.md"))
         assert names == [
             "api.md",
+            "cluster.md",
             "extending-policies.md",
             "online.md",
             "performance.md",
@@ -55,6 +56,7 @@ class TestDocsReferenceRealCode:
         or a subpackage."""
         import repro.analysis
         import repro.cache
+        import repro.cluster
         import repro.core
         import repro.cpu
         import repro.experiments
@@ -76,7 +78,7 @@ class TestDocsReferenceRealCode:
             repro.workloads, repro.analysis, repro.prefetch,
             repro.experiments, repro.experiments.runner,
             repro.experiments.checkpoint, repro.faults, repro.online,
-            repro.oracle, repro.perf,
+            repro.oracle, repro.perf, repro.cluster,
         ]
         for symbol in symbols:
             assert any(hasattr(ns, symbol) for ns in namespaces), symbol

@@ -281,3 +281,92 @@ class TestHealthProbes:
         wrapper.put("b", 2)
         assert len(wrapper) == 2
         assert wrapper.stats().puts == 2
+
+
+class TestHalfOpenProbeToken:
+    """Half-open lets exactly one trial through (lock-guarded token)."""
+
+    def _tripped_breaker(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=5,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5)
+        return breaker
+
+    def test_single_probe_until_outcome(self):
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock)
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else waits
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.allow() and breaker.state == "closed"
+
+    def test_failed_probe_releases_token_next_cooldown(self):
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock.advance(5)
+        assert breaker.allow()       # a fresh probe after the cooldown
+        assert not breaker.allow()
+
+    def test_thundering_herd_gets_one_probe(self):
+        import threading
+
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock)
+        barrier = threading.Barrier(16)
+        admitted = []
+
+        def caller():
+            barrier.wait()
+            for _ in range(50):
+                if breaker.allow():
+                    admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=caller) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # 16 threads x 50 attempts against a half-open breaker: exactly
+        # one probe admitted in total, because no outcome is ever
+        # recorded to settle it.
+        assert len(admitted) == 1
+
+    def test_herd_with_recorded_outcomes_stays_serialized(self):
+        import threading
+
+        clock = FakeClock()
+        breaker = self._tripped_breaker(clock)
+        lock = threading.Lock()
+        in_probe = [0]
+        max_concurrent = [0]
+        barrier = threading.Barrier(8)
+
+        def caller():
+            barrier.wait()
+            for _ in range(25):
+                if not breaker.allow():
+                    continue
+                with lock:
+                    in_probe[0] += 1
+                    max_concurrent[0] = max(max_concurrent[0], in_probe[0])
+                with lock:
+                    in_probe[0] -= 1
+                # A failing probe reopens the breaker; advance past the
+                # cooldown so later iterations race for a fresh token.
+                breaker.record_failure()
+                clock.advance(5)
+
+        threads = [threading.Thread(target=caller) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Probes happened (the breaker kept re-entering half-open), but
+        # never two at once.
+        assert max_concurrent[0] == 1
