@@ -1,0 +1,52 @@
+"""Bench: tiered KV serving under each placement strategy (ext_tiers).
+
+Claim under test: over a near/far tier topology no fixed placement
+strategy (LCE / LCD / probabilistic LCD) wins on every key-stream
+regime, and the adaptive placement — Algorithm 1's selector dueling
+the fixed family per keyspace partition — matches or beats the best
+fixed strategy's mean access latency on at least two of the three
+keystream classes (the floor pinned in ``baselines.json``).
+"""
+
+import json
+import pathlib
+
+from repro.experiments import ext_tiers
+
+from conftest import run_and_report
+
+BASELINES_PATH = pathlib.Path(__file__).resolve().parent / "baselines.json"
+
+
+def _tiers_floor() -> int:
+    """Minimum keystream classes adaptive must match/beat, pinned in
+    ``baselines.json`` next to the hot-path floors."""
+    with open(BASELINES_PATH, "r", encoding="utf-8") as handle:
+        return int(json.load(handle)["tiers"]["min_acceptance_classes"])
+
+
+def test_ext_tiers(benchmark, bench_setup):
+    def runner():
+        return ext_tiers.run(setup=bench_setup)
+
+    result = run_and_report(
+        benchmark,
+        runner,
+        lambda r: {
+            "acceptance_classes": ext_tiers.acceptance_score(r),
+            **{
+                f"{workload}_adaptive_margin_cycles":
+                    ext_tiers.adaptive_latency_margin(r, workload)
+                for workload in ext_tiers.DEFAULT_WORKLOADS
+            },
+            "adaptive_ops_per_sec": max(
+                row[5] for row in r.rows if row[1] == "adaptive"
+            ),
+        },
+    )
+    # The acceptance condition: adaptive placement matches or beats the
+    # best fixed strategy on at least the pinned number of classes.
+    assert ext_tiers.acceptance_score(result) >= _tiers_floor()
+    for row in result.rows:
+        assert row[5] > 0  # ops/sec
+        assert ext_tiers.NEAR_LATENCY <= row[4] <= ext_tiers.BACKING_LATENCY

@@ -4,6 +4,15 @@ Models the paper's memory system (Table 1): split L1 instruction/data
 caches over a unified L2, a split-transaction bus and a fixed-latency
 main memory. Latency accounting is what the timing model consumes; data
 movement itself is not simulated (tags suffice for replacement studies).
+
+Since the :mod:`repro.tiers` subsystem landed, this class is a thin
+two-tier instantiation of the general tier graph: the L1s and the L2
+are nodes of a :class:`~repro.tiers.topology.TierGraph` walked by a
+:class:`~repro.tiers.topology.TieredCache` under leave-copy-everywhere
+placement — which *is* the classic inclusive walk this class always
+performed, access-for-access (same per-cache `AccessResult` stream,
+same single-hop writeback propagation, same latency arithmetic), so
+`HierarchyResult`s and the golden digests are unchanged.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cache.cache import SetAssociativeCache
+from repro.tiers.topology import BackingStore, TierGraph, TieredCache
 
 
 @dataclass(frozen=True)
@@ -38,6 +48,12 @@ class CacheHierarchy:
     reference trace (the common case in the experiments) construct the
     hierarchy with ``l1d=None, l1i=None`` and call :meth:`access_l2`
     directly.
+
+    Raises:
+        ValueError: for non-positive ``memory_latency``, negative
+            ``bus_transfer_cycles``, or an L1 whose block size differs
+            from the L2's — mismatched line sizes would make the
+            rebuilt writeback addresses alias the wrong L2 lines.
     """
 
     def __init__(
@@ -54,70 +70,69 @@ class CacheHierarchy:
             raise ValueError(
                 f"bus_transfer_cycles must be non-negative, got {bus_transfer_cycles}"
             )
+        for name, l1 in (("l1d", l1d), ("l1i", l1i)):
+            if l1 is not None and l1.config.line_bytes != l2.config.line_bytes:
+                raise ValueError(
+                    f"{name} block size {l1.config.line_bytes} does not match "
+                    f"L2 block size {l2.config.line_bytes}; writeback "
+                    "addresses would alias the wrong L2 lines"
+                )
         self.l2 = l2
         self.l1d = l1d
         self.l1i = l1i
         self.memory_latency = memory_latency
         self.bus_transfer_cycles = bus_transfer_cycles
-        self.memory_reads = 0
-        self.memory_writes = 0
+
+        graph = TierGraph(BackingStore("memory", latency=memory_latency))
+        graph.add_tier("l2", l2, transfer_cost=bus_transfer_cycles)
+        if l1d is not None:
+            graph.add_tier("l1d", l1d, below="l2")
+        if l1i is not None:
+            graph.add_tier("l1i", l1i, below="l2")
+        # LCE over this graph is exactly the classic inclusive walk.
+        self._tiered = TieredCache(graph, default_entry="l2")
+
+    @property
+    def tiered(self) -> TieredCache:
+        """The underlying tier walker (topology-level introspection)."""
+        return self._tiered
+
+    @property
+    def memory_reads(self) -> int:
+        """Demand fetches that reached memory."""
+        return self._tiered.backing_reads
+
+    @property
+    def memory_writes(self) -> int:
+        """Dirty lines written back to memory."""
+        return self._tiered.backing_writes
 
     @property
     def miss_penalty(self) -> int:
         """Cycles an L2 miss spends fetching a line from memory."""
         return self.memory_latency + self.bus_transfer_cycles
 
-    def access_l2(self, address: int, is_write: bool = False) -> HierarchyResult:
-        """Reference the unified L2 directly (L2-trace experiments)."""
-        result = self.l2.access(address, is_write)
-        if result.writeback:
-            self.memory_writes += 1
-        if result.hit:
-            return HierarchyResult(
-                hit_level="l2",
-                latency=self.l2.config.hit_latency,
-                l2_accessed=True,
-                l2_miss=False,
-            )
-        self.memory_reads += 1
+    def _result(self, walked) -> HierarchyResult:
+        hit_level = "l1" if walked.served_by in ("l1d", "l1i") else walked.served_by
         return HierarchyResult(
-            hit_level="memory",
-            latency=self.l2.config.hit_latency + self.miss_penalty,
-            l2_accessed=True,
-            l2_miss=True,
+            hit_level=hit_level,
+            latency=walked.latency,
+            l2_accessed="l2" in walked.probed,
+            l2_miss=walked.served_by == "memory",
         )
 
-    def _access_through_l1(
-        self, l1: Optional[SetAssociativeCache], address: int, is_write: bool
-    ) -> HierarchyResult:
-        if l1 is None:
-            return self.access_l2(address, is_write)
-        l1_result = l1.access(address, is_write)
-        if l1_result.hit:
-            return HierarchyResult(
-                hit_level="l1",
-                latency=l1.config.hit_latency,
-                l2_accessed=False,
-                l2_miss=False,
-            )
-        # L1 writebacks land in the (unified, larger) L2.
-        if l1_result.writeback:
-            evicted_base = l1.config.rebuild_address(
-                l1_result.evicted_tag, l1_result.set_index
-            )
-            self.l2.access(evicted_base, is_write=True)
-        below = self.access_l2(address, is_write=False)
-        return HierarchyResult(
-            hit_level=below.hit_level,
-            latency=l1.config.hit_latency + below.latency,
-            l2_accessed=True,
-            l2_miss=below.l2_miss,
-        )
+    def access_l2(self, address: int, is_write: bool = False) -> HierarchyResult:
+        """Reference the unified L2 directly (L2-trace experiments)."""
+        return self._result(self._tiered.access(address, is_write, entry="l2"))
 
     def access_data(self, address: int, is_write: bool = False) -> HierarchyResult:
         """Load/store reference through the L1 data cache."""
-        return self._access_through_l1(self.l1d, address, is_write)
+        entry = "l1d" if self.l1d is not None else "l2"
+        return self._result(self._tiered.access(address, is_write, entry=entry))
 
     def access_inst(self, address: int) -> HierarchyResult:
         """Instruction fetch through the L1 instruction cache."""
-        return self._access_through_l1(self.l1i, address, is_write=False)
+        entry = "l1i" if self.l1i is not None else "l2"
+        return self._result(
+            self._tiered.access(address, is_write=False, entry=entry)
+        )

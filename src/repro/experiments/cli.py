@@ -36,6 +36,7 @@ from repro.experiments import (
     ext_online,
     ext_prefetch,
     ext_skew,
+    ext_tiers,
     ext_validate,
     ext_shared,
     fig3_mpki,
@@ -77,6 +78,7 @@ EXPERIMENTS = {
     "ext-faults": ext_faults,
     "ext-online": ext_online,
     "ext-cluster": ext_cluster,
+    "ext-tiers": ext_tiers,
     "seeds": seed_sensitivity,
 }
 
@@ -95,7 +97,8 @@ def _run_result(name: str, args: argparse.Namespace):
     # ext-online takes key-stream names, not suite workload names, so the
     # suite-wide --workloads restriction does not apply to it either.
     if args.workloads and name not in ("fig7", "ext-shared", "ext-skew",
-                                       "ext-online", "ext-cluster"):
+                                       "ext-online", "ext-cluster",
+                                       "ext-tiers"):
         kwargs["workloads"] = args.workloads
     if name == "ext-online" and getattr(args, "snapshot_dir", None):
         kwargs["snapshot_dir"] = args.snapshot_dir

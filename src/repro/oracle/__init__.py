@@ -25,25 +25,42 @@ from repro.oracle.harness import (
     Divergence,
     build_hardware_pair,
     build_shard_pair,
+    build_tiered_kv_pair,
     check_cross_engine,
     differential_campaign,
+    placement_campaign,
     run_differential,
 )
-from repro.oracle.spec import Decision, SpecCache, make_adaptive_spec, make_spec
+from repro.oracle.spec import (
+    Decision,
+    PlacementDecision,
+    SpecCache,
+    SpecTieredKV,
+    make_adaptive_spec,
+    make_placement_spec,
+    make_spec,
+    placement_spec_names,
+)
 from repro.oracle.stack import StackDistanceEngine, lru_hits_all_ways
 
 __all__ = [
     "CampaignReport",
     "Decision",
     "Divergence",
+    "PlacementDecision",
     "SpecCache",
+    "SpecTieredKV",
     "StackDistanceEngine",
     "build_hardware_pair",
     "build_shard_pair",
+    "build_tiered_kv_pair",
     "check_cross_engine",
     "differential_campaign",
     "lru_hits_all_ways",
     "make_adaptive_spec",
+    "make_placement_spec",
     "make_spec",
+    "placement_campaign",
+    "placement_spec_names",
     "run_differential",
 ]

@@ -45,8 +45,14 @@ GOLDEN_WORKLOADS = ("lucas", "art-1", "ammp", "mcf", "mgrid", "unepic")
 #: Policies digested per workload.
 GOLDEN_POLICIES = ("lru", "lfu", "adaptive")
 
+#: Placement strategies digested over the tiered KV topology, and the
+#: key stream they replay (the phase-changing stream exercises every
+#: adaptive partition selector).
+GOLDEN_PLACEMENTS = ("lce", "lcd", "problcd", "adaptive")
+GOLDEN_TIER_WORKLOAD = "phase-zipf"
+
 #: Format tag bumped whenever the digest schema itself changes.
-GOLDEN_FORMAT = 1
+GOLDEN_FORMAT = 2
 
 
 def default_golden_path() -> str:
@@ -92,6 +98,46 @@ def _digest_one(workload: str, policy_kind: str) -> Dict:
     return digest
 
 
+def _digest_tiers(placement_name: str) -> Dict:
+    """Digest one placement strategy over the tiered KV topology.
+
+    Replays the pinned key stream through the near/far topology of the
+    ext-tiers experiment and records the integer serving counters —
+    where every access was served from, what the backing absorbed, and
+    the exact latency total — plus, for the adaptive strategy, the
+    per-partition placement votes, majority and switch count. Any
+    change to a placement decision or to the tier walk moves one of
+    these fields.
+    """
+    from repro.experiments.ext_online import build_key_stream
+    from repro.experiments.ext_tiers import build_topology
+
+    setup = make_setup(GOLDEN_SCALE, accesses=GOLDEN_ACCESSES)
+    capacity = setup.l2.num_lines
+    keys = build_key_stream(GOLDEN_TIER_WORKLOAD, capacity, setup, seed=0)
+    front = build_topology(placement_name, capacity, seed=0)
+    for key in keys:
+        front.get_or_compute(key, lambda k: k)
+    stats = front.stats()
+    digest = {
+        "gets": stats["gets"],
+        "tier_hits": stats["tier_hits"],
+        "backing_fetches": stats["backing_fetches"],
+        "serves": dict(stats["serves"]),
+        "total_latency": stats["total_latency"],
+    }
+    placement = stats["placement"]
+    if placement_name == "adaptive":
+        digest["placement"] = {
+            "components": placement["components"],
+            "votes": placement["votes"],
+            "majority": placement["majority"],
+            "switches": placement["switches"],
+            "decisions": placement["decisions"],
+        }
+    return digest
+
+
 def compute_digests() -> Dict:
     """The full golden digest for the pinned scale/workloads/policies."""
     digests = {
@@ -99,6 +145,10 @@ def compute_digests() -> Dict:
         "scale": GOLDEN_SCALE,
         "accesses": GOLDEN_ACCESSES,
         "experiments": {},
+        "tiers": {
+            placement: _digest_tiers(placement)
+            for placement in GOLDEN_PLACEMENTS
+        },
     }
     for workload in GOLDEN_WORKLOADS:
         digests["experiments"][workload] = {

@@ -35,12 +35,19 @@ from repro.online.policies import build_shard_policy
 from repro.online.shard import CacheShard
 from repro.oracle.spec import (
     Decision,
+    PlacementDecision,
     SpecCache,
+    SpecTieredKV,
     make_adaptive_spec,
+    make_placement_spec,
     make_spec,
+    placement_spec_names,
 )
 from repro.oracle.streams import hardware_stream, shard_ops
 from repro.policies.registry import available_policies, make_policy
+from repro.tiers.adaptive import AdaptivePlacement
+from repro.tiers.kv import KVTier, TieredKVCache
+from repro.tiers.placement import make_placement
 
 #: Policies whose constructors take a ``seed`` argument.
 _SEEDED_POLICIES = ("random", "bip")
@@ -486,3 +493,135 @@ def check_cross_engine(
             return Divergence(step=step, event=(op, key), engine=hw_decision,
                               spec=shard_decision, label=label, seed=seed)
     return None
+
+
+# ---------------------------------------------------------------------------
+# Placement differential: the tiered KV walker versus its reference spec.
+
+
+class TieredKVPair:
+    """A :class:`~repro.tiers.kv.TieredKVCache` coupled with its spec.
+
+    Events are the same ``(op, key)`` pairs the shard pairs replay
+    (:func:`repro.oracle.streams.shard_ops`): the real walker runs over
+    LRU-policy shard tiers, the spec restates the same topology as
+    plain recency lists, and every operation's
+    :class:`~repro.oracle.spec.PlacementDecision` — serving level and
+    admitted tiers — must agree, then the full per-tier residency (and,
+    for adaptive placement, the per-partition votes).
+    """
+
+    def __init__(self, cache, spec, label: str):
+        self.cache = cache
+        self.spec = spec
+        self.label = label
+
+    def apply(self, event: Tuple[str, int]) -> Tuple[
+            "PlacementDecision", "PlacementDecision"]:
+        """Replay one operation through both sides."""
+        op, key = event
+        if op == "get":
+            result = self.cache.get_detailed(key)
+            engine = PlacementDecision(result.found, result.served_by,
+                                       result.admitted)
+            spec = self.spec.get(key)
+        elif op == "get_or_compute":
+            result = self.cache.fetch(key, lambda k: ("value", k))
+            engine = PlacementDecision(result.found, result.served_by,
+                                       result.admitted)
+            spec = self.spec.fetch(key)
+        elif op == "put":
+            result = self.cache.put(key, ("value", key))
+            engine = PlacementDecision(result.found, result.served_by,
+                                       result.admitted)
+            spec = self.spec.put(key)
+        elif op == "delete":
+            engine = PlacementDecision(found=self.cache.delete(key))
+            spec = self.spec.delete(key)
+        else:
+            raise ValueError(f"unknown tiered op {op!r}")
+        return engine, spec
+
+    def verify_state(self, event: Tuple[str, int]) -> Optional[str]:
+        """Per-tier residency (and adaptive votes) must match the spec."""
+        for index, tier in enumerate(self.cache.tiers):
+            engine_keys = sorted(tier.store.resident_keys())
+            spec_keys = self.spec.resident(index)
+            if engine_keys != spec_keys:
+                return (f"tier {tier.name!r} residency differs: "
+                        f"engine={engine_keys} spec={spec_keys}")
+        if isinstance(self.cache.placement, AdaptivePlacement):
+            engine_votes = self.cache.placement.votes()
+            spec_votes = self.spec.placement.votes()
+            if engine_votes != spec_votes:
+                return (f"adaptive votes differ: engine={engine_votes} "
+                        f"spec={spec_votes}")
+        return None
+
+
+def build_tiered_kv_pair(
+    placement_name: str,
+    tier_capacities: Sequence[int] = (4, 12),
+    seed: int = 0,
+) -> TieredKVPair:
+    """Couple a tiered KV cache and its spec for one placement strategy.
+
+    Every tier is an LRU :class:`~repro.online.shard.CacheShard` (the
+    spec restates LRU tiers only — replacement-policy variety is the
+    policy campaign's job; here the variable under test is placement).
+    """
+    caps = list(tier_capacities)
+    tiers = [
+        KVTier(f"t{index}", CacheShard(cap, build_shard_policy("lru", cap)),
+               cap)
+        for index, cap in enumerate(caps)
+    ]
+    cache = TieredKVCache(
+        tiers,
+        placement=make_placement(
+            placement_name, tier_capacities=caps, seed=seed
+        ),
+    )
+    spec = SpecTieredKV(
+        [tier.name for tier in tiers],
+        caps,
+        make_placement_spec(placement_name, tier_capacities=caps, seed=seed),
+    )
+    label = f"tiered[{'x'.join(map(str, caps))}]:{placement_name}"
+    return TieredKVPair(cache, spec, label)
+
+
+def placement_campaign(
+    placements: Optional[Sequence[str]] = None,
+    topologies: Sequence[Sequence[int]] = ((4, 12), (3, 6, 18)),
+    streams_per_combo: int = 16,
+    stream_length: int = 150,
+    base_seed: int = 0,
+) -> CampaignReport:
+    """Differential-test placement strategies over seeded op streams.
+
+    The placement analogue of :func:`differential_campaign`: every
+    placement strategy with a spec (LCE, LCD, probabilistic LCD and the
+    adaptive duel), on each topology shape, over independent seeded
+    streams — first divergences are collected, the campaign continues.
+    """
+    if placements is None:
+        placements = placement_spec_names()
+    report = CampaignReport()
+    for placement_index, placement_name in enumerate(placements):
+        for topo_index, tier_capacities in enumerate(topologies):
+            for stream_index in range(streams_per_combo):
+                seed = (base_seed + 10007 * placement_index
+                        + 101 * topo_index + stream_index)
+                pair = build_tiered_kv_pair(
+                    placement_name, tier_capacities, seed=seed
+                )
+                events = shard_ops(
+                    seed, sum(tier_capacities), stream_length
+                )
+                report.runs += 1
+                report.events += len(events)
+                divergence = run_differential(pair, events, seed=seed)
+                if divergence is not None:
+                    report.divergences.append(divergence)
+    return report

@@ -197,6 +197,59 @@ class SpecLFU(PolicySpec):
         return min(resident, key=lambda tag: (counts[tag], seqs[tag]))
 
 
+class SpecEHC(PolicySpec):
+    """EHC spec: per-tag lifetime hit EMAs, evict fewest expected
+    remaining hits.
+
+    Mirrors :class:`repro.policies.ehc.EHCPolicy` in tag-keyed form:
+    every residency counts its hits; :meth:`on_remove` (how a lifetime
+    ends in the spec cache, whether by replacement or invalidation)
+    folds the count into the tag's moving average with the identical
+    ``(old + observed) / 2`` float arithmetic, so expectations — and
+    therefore victims — match bit-for-bit. Tags without a completed
+    lifetime carry the same optimistic expectation of 1.0, and ties
+    break toward the oldest fill.
+    """
+
+    name = "ehc"
+
+    NEW_TAG_EXPECTATION = 1.0
+
+    def __init__(self, num_sets: int, ways: int):
+        super().__init__(num_sets, ways)
+        self._hits: List[dict] = [dict() for _ in range(num_sets)]
+        self._ema: List[dict] = [dict() for _ in range(num_sets)]
+        self._fill_seq: List[dict] = [dict() for _ in range(num_sets)]
+        self._clock = 0
+
+    def on_hit(self, set_index: int, tag: int) -> None:
+        self._hits[set_index][tag] += 1
+
+    def on_fill(self, set_index: int, tag: int) -> None:
+        self._clock += 1
+        self._hits[set_index][tag] = 0
+        self._fill_seq[set_index][tag] = self._clock
+
+    def on_remove(self, set_index: int, tag: int) -> None:
+        observed = float(self._hits[set_index].pop(tag))
+        del self._fill_seq[set_index][tag]
+        ema = self._ema[set_index]
+        previous = ema.get(tag)
+        ema[tag] = observed if previous is None else (previous + observed) / 2
+
+    def victim_tag(self, set_index: int, resident: Sequence[int]) -> int:
+        hits = self._hits[set_index]
+        ema = self._ema[set_index]
+        seqs = self._fill_seq[set_index]
+        return min(
+            resident,
+            key=lambda tag: (
+                ema.get(tag, self.NEW_TAG_EXPECTATION) - hits[tag],
+                seqs[tag],
+            ),
+        )
+
+
 class SpecRandom(PolicySpec):
     """Random spec: a seeded uniform choice over tags in way order."""
 
@@ -522,6 +575,7 @@ _SPEC_FACTORIES = {
     "random": SpecRandom,
     "srrip": SpecSRRIP,
     "bip": SpecBIP,
+    "ehc": SpecEHC,
 }
 
 
@@ -567,3 +621,46 @@ def make_adaptive_spec(
         num_sets, ways, specs, tag_transform=tag_transform,
         window=window_value, fallback=fallback, seed=seed,
     )
+
+
+
+# Placement specs live in their own module; re-exported here so
+# `repro.oracle.spec` stays the one import point for every spec.
+from repro.oracle.placement_spec import (  # noqa: E402
+    PlacementDecision,
+    PlacementSpec,
+    SpecAdaptivePlacement,
+    SpecLCDPlacement,
+    SpecLCEPlacement,
+    SpecProbLCDPlacement,
+    SpecTieredKV,
+    make_placement_spec,
+    placement_spec_names,
+)
+
+__all__ = [
+    "Decision",
+    "PlacementDecision",
+    "PlacementSpec",
+    "PolicySpec",
+    "SpecAdaptive",
+    "SpecAdaptivePlacement",
+    "SpecBIP",
+    "SpecCache",
+    "SpecEHC",
+    "SpecFIFO",
+    "SpecLCDPlacement",
+    "SpecLCEPlacement",
+    "SpecLFU",
+    "SpecLRU",
+    "SpecMRU",
+    "SpecProbLCDPlacement",
+    "SpecRandom",
+    "SpecSRRIP",
+    "SpecTieredKV",
+    "make_adaptive_spec",
+    "make_placement_spec",
+    "make_spec",
+    "placement_spec_names",
+    "spec_names",
+]

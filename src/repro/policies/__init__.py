@@ -8,6 +8,7 @@ the adaptive scheme.
 
 from repro.policies.base import ReplacementPolicy, SetView
 from repro.policies.bip import BIPPolicy
+from repro.policies.ehc import EHCPolicy
 from repro.policies.lru import LRUPolicy
 from repro.policies.lfu import LFUPolicy
 from repro.policies.fifo import FIFOPolicy
@@ -26,6 +27,7 @@ __all__ = [
     "ReplacementPolicy",
     "SetView",
     "BIPPolicy",
+    "EHCPolicy",
     "LRUPolicy",
     "LFUPolicy",
     "FIFOPolicy",

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Tuple
 
 from repro.policies.base import ReplacementPolicy
 from repro.policies.bip import BIPPolicy
+from repro.policies.ehc import EHCPolicy
 from repro.policies.fifo import FIFOPolicy
 from repro.policies.lfu import LFUPolicy
 from repro.policies.lru import LRUPolicy
@@ -74,3 +75,4 @@ register_policy("mru", MRUPolicy)
 register_policy("random", RandomPolicy)
 register_policy("srrip", SRRIPPolicy)
 register_policy("bip", BIPPolicy)
+register_policy("ehc", EHCPolicy)

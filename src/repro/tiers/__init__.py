@@ -1,0 +1,68 @@
+"""Generalized multi-tier cache topologies with adaptive placement.
+
+The paper adapts the *eviction policy* of each cache set; this
+subsystem adapts the orthogonal dimension — *where a value lands*
+across a multi-tier topology — using the same Algorithm 1 selector
+machinery (:mod:`repro.core.selector`).
+
+* :mod:`repro.tiers.placement` — the strategy family: LCE, LCD,
+  probabilistic LCD, and the registry (:func:`make_placement`).
+* :mod:`repro.tiers.adaptive` — :class:`AdaptivePlacement`, a
+  per-keyspace-partition selector dueling fixed strategies on shadow
+  topologies with decisive-miss (backing-fetch) feedback.
+* :mod:`repro.tiers.topology` — the hardware side: :class:`TierGraph`
+  (an in-tree of set-associative caches over a backing store) and
+  :class:`TieredCache`, the walker the refactored
+  :class:`~repro.cache.hierarchy.CacheHierarchy` is a two-tier
+  instantiation of.
+* :mod:`repro.tiers.kv` — the serving side: :class:`KVTier` /
+  :class:`TieredKVCache` over any duck-typed KV store, plus the
+  canonical near/far (:func:`tiered_front`) and client-local→cluster
+  (:func:`client_local_topology`) topologies.
+
+See docs/tiers.md for the model and the adaptive-placement design.
+"""
+
+from repro.tiers.adaptive import AdaptivePlacement
+from repro.tiers.kv import (
+    KVTier,
+    TieredKVCache,
+    TieredKVResult,
+    client_local_topology,
+    tiered_front,
+)
+from repro.tiers.placement import (
+    FIXED_PLACEMENTS,
+    LeaveCopyDown,
+    LeaveCopyEverywhere,
+    PlacementStrategy,
+    ProbabilisticLCD,
+    make_placement,
+)
+from repro.tiers.topology import (
+    BackingStore,
+    TierGraph,
+    TierNode,
+    TieredAccessResult,
+    TieredCache,
+)
+
+__all__ = [
+    "AdaptivePlacement",
+    "BackingStore",
+    "FIXED_PLACEMENTS",
+    "KVTier",
+    "LeaveCopyDown",
+    "LeaveCopyEverywhere",
+    "PlacementStrategy",
+    "ProbabilisticLCD",
+    "TierGraph",
+    "TierNode",
+    "TieredAccessResult",
+    "TieredCache",
+    "TieredKVCache",
+    "TieredKVResult",
+    "client_local_topology",
+    "make_placement",
+    "tiered_front",
+]

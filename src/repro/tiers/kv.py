@@ -1,0 +1,383 @@
+"""Tiered key-value serving: placement strategies over KV stores.
+
+The hardware walker (:mod:`repro.tiers.topology`) generalizes the
+L1/L2/memory hierarchy; this module does the same for the serving
+stack. A :class:`KVTier` wraps any duck-typed key-value store — a
+:class:`~repro.online.shard.CacheShard`, a whole
+:class:`~repro.online.engine.AdaptiveKVCache`, or a
+:class:`~repro.cluster.cache.ClusterKVCache` ring — behind the three
+operations a tier walk needs (`lookup`, `admit`, `invalidate`), and a
+:class:`TieredKVCache` walks requests through a near→far tier list
+under a pluggable :class:`~repro.tiers.placement.PlacementStrategy`.
+
+Two canonical topologies ship as helpers:
+
+* :func:`tiered_front` — a small near shard in front of an
+  :class:`AdaptiveKVCache` (the process-local hot-entry tier);
+* :func:`client_local_topology` — a client-local shard in front of a
+  :class:`ClusterKVCache` ring (the cluster as bottom tier).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.tiers.placement import (
+    LeaveCopyEverywhere,
+    PlacementStrategy,
+)
+
+#: Probe-miss sentinel: stores signal misses via their ``default``
+#: argument, and None is a legitimate cached value.
+_MISS = object()
+
+
+class KVTier:
+    """One tier of a key-value topology.
+
+    Wraps any store exposing ``get(key, default)``, ``put(key, value)``
+    and ``delete(key)`` — which all three engines do — plus a latency
+    annotation pair mirroring the hardware tier graph's node/edge
+    costs.
+
+    Args:
+        name: unique tier name (reporting, stats).
+        store: the wrapped store.
+        capacity: entry capacity, used to size adaptive placement's
+            shadow topologies (informational otherwise).
+        hit_latency: cost charged for probing this tier.
+        transfer_cost: cost of this tier's down-edge.
+    """
+
+    __slots__ = ("name", "store", "capacity", "hit_latency", "transfer_cost")
+
+    def __init__(
+        self,
+        name: str,
+        store,
+        capacity: int,
+        hit_latency: int = 1,
+        transfer_cost: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if hit_latency <= 0:
+            raise ValueError(f"hit_latency must be positive, got {hit_latency}")
+        if transfer_cost < 0:
+            raise ValueError(
+                f"transfer_cost must be non-negative, got {transfer_cost}"
+            )
+        self.name = name
+        self.store = store
+        self.capacity = capacity
+        self.hit_latency = hit_latency
+        self.transfer_cost = transfer_cost
+
+    def lookup(self, key):
+        """``(found, value)`` — a probe, never a fill."""
+        value = self.store.get(key, _MISS)
+        if value is _MISS:
+            return False, None
+        return True, value
+
+    def admit(self, key, value) -> None:
+        """Install ``key`` in this tier (store handles its own eviction)."""
+        self.store.put(key, value)
+
+    def invalidate(self, key) -> bool:
+        """Drop ``key`` from this tier if resident."""
+        return bool(self.store.delete(key))
+
+
+class TieredKVResult:
+    """Outcome of one request walked through a KV tier list.
+
+    Attributes:
+        found: whether any tier (or the backing loader) produced a value.
+        value: the value served (None on a plain-get total miss).
+        served_by: tier name, the backing name, or None (total miss on
+            a plain get, which consults no backing).
+        latency: accumulated probe + transfer + backing cost.
+        admitted: names of tiers that installed a copy, near-to-far.
+    """
+
+    __slots__ = ("found", "value", "served_by", "latency", "admitted")
+
+    def __init__(self, found, value, served_by, latency, admitted):
+        self.found = found
+        self.value = value
+        self.served_by = served_by
+        self.latency = latency
+        self.admitted = admitted
+
+    def __repr__(self) -> str:
+        return (
+            f"TieredKVResult(found={self.found}, served_by={self.served_by!r}, "
+            f"latency={self.latency}, admitted={self.admitted!r})"
+        )
+
+
+class TieredKVCache:
+    """A near→far list of KV tiers under a placement strategy.
+
+    The walk mirrors the hardware deferred walk: probe tiers in order
+    until one serves, then ask the placement strategy which tiers keep
+    a copy (hit promotion on ``get``, fill placement on
+    ``get_or_compute``). Admits run far-to-near so a near-tier copy
+    never exists without the strategy having placed it.
+
+    Args:
+        tiers: near-to-far :class:`KVTier` list.
+        placement: placement strategy; defaults to LCE.
+        backing_latency: cost charged when ``get_or_compute`` runs its
+            loader.
+        backing_name: reporting name for the loader level.
+    """
+
+    def __init__(
+        self,
+        tiers: Sequence[KVTier],
+        placement: Optional[PlacementStrategy] = None,
+        backing_latency: int = 100,
+        backing_name: str = "backing",
+    ):
+        if not tiers:
+            raise ValueError("need at least one tier")
+        names = [tier.name for tier in tiers]
+        if len(set(names)) != len(names) or backing_name in names:
+            raise ValueError(f"tier names must be unique, got {names!r}")
+        if backing_latency <= 0:
+            raise ValueError(
+                f"backing_latency must be positive, got {backing_latency}"
+            )
+        self.tiers: List[KVTier] = list(tiers)
+        self.placement = placement or LeaveCopyEverywhere()
+        self.backing_latency = backing_latency
+        self.backing_name = backing_name
+        self.serves: Dict[str, int] = {name: 0 for name in names}
+        self.serves[backing_name] = 0
+        self.gets = 0
+        self.puts = 0
+        self.deletes = 0
+        self.backing_fetches = 0
+        self.total_latency = 0
+        self._observe_placement = (
+            type(self.placement).observe_access
+            is not PlacementStrategy.observe_access
+        )
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.tiers)
+
+    def tier_capacities(self) -> List[int]:
+        """Per-tier capacities, near-to-far (adaptive-placement sizing)."""
+        return [tier.capacity for tier in self.tiers]
+
+    def _probe(self, key):
+        """(served_index, value, latency): first tier holding ``key``."""
+        latency = 0
+        for index, tier in enumerate(self.tiers):
+            latency += tier.hit_latency
+            found, value = tier.lookup(key)
+            if found:
+                return index, value, latency
+            latency += tier.transfer_cost
+        return len(self.tiers), None, latency
+
+    def _admit_copies(self, served: int, key, value) -> List[str]:
+        """Place copies per the strategy; far-to-near; returns names."""
+        targets = self.placement.copy_tiers(len(self.tiers), served, key)
+        admitted = []
+        for index in sorted(targets, reverse=True):
+            tier = self.tiers[index]
+            tier.admit(key, value)
+            admitted.append(tier.name)
+        admitted.reverse()
+        return admitted
+
+    def get_detailed(self, key, default=None) -> TieredKVResult:
+        """Probe all tiers; on a hit, promote per the placement strategy.
+
+        A total miss consults no backing loader — plain gets report the
+        miss to the caller (matching ``CacheShard.get``), and only
+        :meth:`get_or_compute` fills.
+        """
+        self.gets += 1
+        if self._observe_placement:
+            self.placement.observe_access(key, False)
+        served, value, latency = self._probe(key)
+        self.total_latency += latency
+        if served == len(self.tiers):
+            return TieredKVResult(False, default, None, latency, ())
+        name = self.tiers[served].name
+        self.serves[name] += 1
+        admitted = self._admit_copies(served, key, value)
+        return TieredKVResult(True, value, name, latency, tuple(admitted))
+
+    def get(self, key, default=None):
+        """Value under ``key`` from the nearest holding tier, else
+        ``default``."""
+        return self.get_detailed(key, default).value
+
+    def fetch(self, key, compute) -> TieredKVResult:
+        """:meth:`get_or_compute` with full provenance."""
+        self.gets += 1
+        if self._observe_placement:
+            self.placement.observe_access(key, False)
+        served, value, latency = self._probe(key)
+        if served == len(self.tiers):
+            self.backing_fetches += 1
+            self.serves[self.backing_name] += 1
+            latency += self.backing_latency
+            value = compute(key)
+            served_name = self.backing_name
+        else:
+            served_name = self.tiers[served].name
+            self.serves[served_name] += 1
+        self.total_latency += latency
+        admitted = self._admit_copies(served, key, value)
+        return TieredKVResult(True, value, served_name, latency,
+                              tuple(admitted))
+
+    def get_or_compute(self, key, compute):
+        """Serve from the nearest tier, running ``compute(key)`` (and
+        placing the result) on a topology-wide miss."""
+        return self.fetch(key, compute).value
+
+    def put(self, key, value) -> TieredKVResult:
+        """Write ``key`` through the topology.
+
+        The placement strategy is consulted as for a backing-served
+        fill (the value arrives from outside the topology). Tiers the
+        strategy skips get the key *invalidated* so no stale copy
+        survives the write; if the strategy places the value nowhere
+        (probabilistic LCD declining), the far tier takes it — a put
+        must never be dropped entirely.
+        """
+        self.puts += 1
+        if self._observe_placement:
+            self.placement.observe_access(key, True)
+        num_tiers = len(self.tiers)
+        targets = set(
+            self.placement.copy_tiers(num_tiers, num_tiers, key)
+        ) or {num_tiers - 1}
+        admitted = []
+        for index in range(num_tiers - 1, -1, -1):
+            tier = self.tiers[index]
+            if index in targets:
+                tier.admit(key, value)
+                admitted.append(tier.name)
+            else:
+                tier.invalidate(key)
+        admitted.reverse()
+        return TieredKVResult(True, value, None, 0, tuple(admitted))
+
+    def delete(self, key) -> bool:
+        """Drop ``key`` from every tier; True if any held it."""
+        self.deletes += 1
+        removed = False
+        for tier in self.tiers:
+            removed = tier.invalidate(key) or removed
+        return removed
+
+    def resident_in(self, key) -> List[str]:
+        """Names of tiers currently holding ``key`` (testing aid)."""
+        return [tier.name for tier in self.tiers if tier.lookup(key)[0]]
+
+    def stats(self) -> dict:
+        """Counter snapshot plus the placement strategy's summary."""
+        tier_hits = sum(self.serves[tier.name] for tier in self.tiers)
+        return {
+            "gets": self.gets,
+            "puts": self.puts,
+            "deletes": self.deletes,
+            "tier_hits": tier_hits,
+            "hit_ratio": tier_hits / self.gets if self.gets else 0.0,
+            "backing_fetches": self.backing_fetches,
+            "serves": dict(self.serves),
+            "total_latency": self.total_latency,
+            "mean_latency": (
+                self.total_latency / self.gets if self.gets else 0.0
+            ),
+            "placement": self.placement.state_summary(),
+        }
+
+
+def tiered_front(
+    far,
+    near_capacity: int,
+    far_capacity: int,
+    placement: Optional[PlacementStrategy] = None,
+    near_policy: str = "lru",
+    near_latency: int = 1,
+    far_latency: int = 10,
+    backing_latency: int = 100,
+    seed: int = 0,
+) -> TieredKVCache:
+    """A small near shard in front of an existing far store.
+
+    The optional near/far front for :class:`AdaptiveKVCache`: the far
+    store keeps its full behavior (sharding, adaptivity, persistence);
+    the near tier is a single process-local
+    :class:`~repro.online.shard.CacheShard` absorbing the hottest keys.
+
+    Args:
+        far: the far store (any duck-typed KV store).
+        near_capacity: entry capacity of the near shard.
+        far_capacity: entry capacity of ``far`` (placement sizing).
+        placement: placement strategy (default LCE).
+        near_policy: registry policy for the near shard.
+    """
+    from repro.online.policies import build_shard_policy
+    from repro.online.shard import CacheShard
+
+    near = CacheShard(
+        near_capacity,
+        build_shard_policy(near_policy, near_capacity, seed=seed),
+    )
+    return TieredKVCache(
+        [
+            KVTier("near", near, near_capacity, hit_latency=near_latency),
+            KVTier("far", far, far_capacity, hit_latency=far_latency),
+        ],
+        placement=placement,
+        backing_latency=backing_latency,
+    )
+
+
+def client_local_topology(
+    cluster,
+    local_capacity: int,
+    cluster_capacity: int,
+    placement: Optional[PlacementStrategy] = None,
+    local_policy: str = "lru",
+    local_latency: int = 1,
+    cluster_latency: int = 20,
+    backing_latency: int = 200,
+    seed: int = 0,
+) -> TieredKVCache:
+    """A client-local shard over a cluster ring as bottom tier.
+
+    Wires :class:`~repro.cluster.cache.ClusterKVCache` into the tier
+    model: the ring (replication, quorums, read-repair and all) serves
+    as the far tier, with a client-local shard in front.
+    """
+    from repro.online.policies import build_shard_policy
+    from repro.online.shard import CacheShard
+
+    local = CacheShard(
+        local_capacity,
+        build_shard_policy(local_policy, local_capacity, seed=seed),
+    )
+    return TieredKVCache(
+        [
+            KVTier("local", local, local_capacity, hit_latency=local_latency),
+            KVTier(
+                "cluster", cluster, cluster_capacity,
+                hit_latency=cluster_latency,
+            ),
+        ],
+        placement=placement,
+        backing_latency=backing_latency,
+    )

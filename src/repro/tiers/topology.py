@@ -1,0 +1,369 @@
+"""Explicit tier graphs over set-associative caches.
+
+Generalizes the hard-coded L1/L2/memory walk of
+:class:`~repro.cache.hierarchy.CacheHierarchy` into an explicit
+structure: a :class:`TierGraph` is an in-tree of named cache tiers over
+one :class:`BackingStore`, each tier carrying the transfer cost of its
+down-edge, and a :class:`TieredCache` walks references through it under
+a pluggable :class:`~repro.tiers.placement.PlacementStrategy`.
+
+Two walk modes, selected by the strategy's ``eager`` flag:
+
+* **eager** (LCE): every tier fills as soon as it misses, on the way
+  down — the exact walk the old hierarchy performed, preserved
+  access-for-access so the refactored :class:`CacheHierarchy` stays
+  byte-identical (same `AccessResult` stream into every tier, same
+  single-hop writeback propagation, same latency arithmetic).
+* **deferred** (LCD, probabilistic LCD, adaptive): tiers are *probed*
+  without filling (:meth:`~repro.cache.cache.SetAssociativeCache.lookup`)
+  until one serves the request, then the placement strategy names the
+  tiers that admit a copy
+  (:meth:`~repro.cache.cache.SetAssociativeCache.admit`).
+
+Writeback propagation is single-hop in both modes, as in the original
+hierarchy: a dirty victim is written into the tier directly below
+(swallowing that install's own side effects), and dirty victims of the
+bottom tier — plus the demand writebacks the old ``access_l2`` counted —
+reach the backing store's write counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.cache import SetAssociativeCache
+from repro.tiers.placement import (
+    LeaveCopyEverywhere,
+    PlacementStrategy,
+)
+
+
+class BackingStore:
+    """The memory/origin node every tier graph bottoms out in.
+
+    Args:
+        name: node name (``"memory"`` for the hardware hierarchy).
+        latency: cycles a fetch spends at the store itself; the bottom
+            tier's ``transfer_cost`` (the bus) is accounted separately,
+            so the old ``miss_penalty`` is ``latency + transfer_cost``.
+    """
+
+    __slots__ = ("name", "latency", "reads", "writes")
+
+    def __init__(self, name: str = "memory", latency: int = 120):
+        if latency <= 0:
+            raise ValueError(f"backing latency must be positive, got {latency}")
+        self.name = name
+        self.latency = latency
+        self.reads = 0
+        self.writes = 0
+
+
+class TierNode:
+    """One cache tier in the graph: a cache plus its down-edge."""
+
+    __slots__ = ("name", "cache", "below", "transfer_cost", "hit_latency")
+
+    def __init__(
+        self,
+        name: str,
+        cache: SetAssociativeCache,
+        below: Optional["TierNode"],
+        transfer_cost: int,
+    ):
+        self.name = name
+        self.cache = cache
+        self.below = below
+        self.transfer_cost = transfer_cost
+        self.hit_latency = cache.config.hit_latency
+
+
+class TierGraph:
+    """An in-tree of cache tiers over one backing store.
+
+    Tiers are added bottom-up: each names the tier below it (or the
+    backing store), so the structure is acyclic by construction. Any
+    tier no other tier sits on is an *entry point* — the hardware
+    hierarchy has three (``l1d``, ``l1i`` and ``l2`` itself for
+    L2-trace experiments), all funnelling into the same ``l2``.
+    """
+
+    def __init__(self, backing: Optional[BackingStore] = None):
+        self.backing = backing or BackingStore()
+        self._tiers: Dict[str, TierNode] = {}
+
+    def add_tier(
+        self,
+        name: str,
+        cache: SetAssociativeCache,
+        below: Optional[str] = None,
+        transfer_cost: int = 0,
+    ) -> TierNode:
+        """Add a cache tier whose down-edge points at ``below``.
+
+        Args:
+            name: unique tier name.
+            cache: the tier's cache.
+            below: name of an already-added tier, or None / the backing
+                store's name for a bottom tier.
+            transfer_cost: cycles to move a line across this tier's
+                down-edge (the old ``bus_transfer_cycles`` for the
+                bottom tier of the hardware hierarchy).
+        """
+        if name in self._tiers or name == self.backing.name:
+            raise ValueError(f"tier name {name!r} already in use")
+        if transfer_cost < 0:
+            raise ValueError(
+                f"transfer_cost must be non-negative, got {transfer_cost}"
+            )
+        if below is None or below == self.backing.name:
+            below_node = None
+        else:
+            below_node = self._tiers.get(below)
+            if below_node is None:
+                raise ValueError(
+                    f"tier {name!r} sits on unknown tier {below!r}; add "
+                    "tiers bottom-up"
+                )
+        if below_node is not None:
+            below_bytes = below_node.cache.config.line_bytes
+            if cache.config.line_bytes != below_bytes:
+                raise ValueError(
+                    f"tier {name!r} line size {cache.config.line_bytes} does "
+                    f"not match tier {below!r} line size {below_bytes}; "
+                    "tiers on one path must share a block size"
+                )
+        node = TierNode(name, cache, below_node, transfer_cost)
+        self._tiers[name] = node
+        return node
+
+    def tier(self, name: str) -> TierNode:
+        """The named tier node."""
+        return self._tiers[name]
+
+    def tier_names(self) -> Tuple[str, ...]:
+        """All tier names, in insertion (bottom-up) order."""
+        return tuple(self._tiers)
+
+    def entry_points(self) -> Tuple[str, ...]:
+        """Tiers no other tier sits on, in insertion order."""
+        supporting = {
+            node.below.name for node in self._tiers.values() if node.below
+        }
+        return tuple(n for n in self._tiers if n not in supporting)
+
+    def path_from(self, entry: str) -> List[TierNode]:
+        """Tier nodes from ``entry`` down to (not including) backing."""
+        node = self._tiers.get(entry)
+        if node is None:
+            raise ValueError(
+                f"unknown entry tier {entry!r}; known: "
+                f"{', '.join(self._tiers) or '(none)'}"
+            )
+        path = []
+        while node is not None:
+            path.append(node)
+            node = node.below
+        return path
+
+
+class TieredAccessResult:
+    """Outcome of one reference walked through a tier graph.
+
+    Attributes:
+        served_by: name of the tier (or backing store) that served.
+        latency: cycles to return the data to the entry point.
+        probed: names of the cache tiers the walk referenced, top-down.
+        admitted: names of the cache tiers that installed a copy.
+    """
+
+    __slots__ = ("served_by", "latency", "probed", "admitted")
+
+    def __init__(self, served_by, latency, probed, admitted):
+        self.served_by = served_by
+        self.latency = latency
+        self.probed = probed
+        self.admitted = admitted
+
+    def __repr__(self) -> str:
+        return (
+            f"TieredAccessResult(served_by={self.served_by!r}, "
+            f"latency={self.latency}, probed={self.probed!r}, "
+            f"admitted={self.admitted!r})"
+        )
+
+
+class TieredCache:
+    """Walks references through a :class:`TierGraph` under a placement
+    strategy.
+
+    Args:
+        graph: the tier graph; entry paths are frozen at construction,
+            so add every tier before building the walker.
+        placement: placement strategy; defaults to LCE, the classic
+            inclusive walk.
+        default_entry: entry tier for :meth:`access` calls that name
+            none; inferred when the graph has exactly one entry point.
+    """
+
+    def __init__(
+        self,
+        graph: TierGraph,
+        placement: Optional[PlacementStrategy] = None,
+        default_entry: Optional[str] = None,
+    ):
+        if not graph.tier_names():
+            raise ValueError("tier graph has no tiers")
+        self.graph = graph
+        self.placement = placement or LeaveCopyEverywhere()
+        self._paths = {
+            name: graph.path_from(name) for name in graph.tier_names()
+        }
+        entries = graph.entry_points()
+        if default_entry is None and len(entries) == 1:
+            default_entry = entries[0]
+        if default_entry is not None and default_entry not in self._paths:
+            raise ValueError(f"unknown default entry {default_entry!r}")
+        self.default_entry = default_entry
+        # Placement keys are line-granular: same shift for every tier on
+        # a path (enforced by TierGraph.add_tier).
+        self._block_shifts = {
+            name: path[-1].cache.config.offset_bits
+            for name, path in self._paths.items()
+        }
+        self.serves: Dict[str, int] = {name: 0 for name in graph.tier_names()}
+        self.serves[graph.backing.name] = 0
+        self._observe_placement = (
+            type(self.placement).observe_access
+            is not PlacementStrategy.observe_access
+        )
+
+    @property
+    def backing_reads(self) -> int:
+        """Demand fetches that reached the backing store."""
+        return self.graph.backing.reads
+
+    @property
+    def backing_writes(self) -> int:
+        """Dirty lines written back to the backing store."""
+        return self.graph.backing.writes
+
+    def _spill(self, node: TierNode, evicted_tag: int, set_index: int) -> None:
+        # Single-hop writeback: a dirty victim becomes a write install
+        # one tier down, whose own side effects are swallowed — except
+        # at the bottom tier, where it reaches the backing store. This
+        # mirrors the old hierarchy exactly (the L1 victim's L2 install
+        # never bumped memory_writes, the L2 demand writeback did).
+        below = node.below
+        if below is None:
+            self.graph.backing.writes += 1
+            return
+        address = node.cache.config.rebuild_address(evicted_tag, set_index)
+        below.cache.access(address, is_write=True)
+
+    def access(
+        self,
+        address: int,
+        is_write: bool = False,
+        entry: Optional[str] = None,
+    ) -> TieredAccessResult:
+        """Walk one byte reference from ``entry`` toward backing.
+
+        The write intent applies at the entry tier only; descents are
+        reads, as in the original hierarchy.
+        """
+        if entry is None:
+            entry = self.default_entry
+            if entry is None:
+                raise ValueError(
+                    "graph has multiple entry points "
+                    f"{self.graph.entry_points()!r}; name one explicitly"
+                )
+        path = self._paths[entry]
+        placement = self.placement
+        if self._observe_placement:
+            placement.observe_access(
+                address >> self._block_shifts[entry], is_write
+            )
+        if placement.eager:
+            return self._access_eager(path, address, is_write)
+        return self._access_deferred(path, entry, address, is_write)
+
+    def _access_eager(self, path, address, is_write):
+        # The classic inclusive walk: each tier fills the moment it
+        # misses. Decision-identical to CacheHierarchy's original loop.
+        latency = 0
+        probed = []
+        for depth, node in enumerate(path):
+            result = node.cache.access(address, depth == 0 and is_write)
+            latency += node.hit_latency
+            probed.append(node.name)
+            if result.writeback:
+                self._spill(node, result.evicted_tag, result.set_index)
+            if result.hit:
+                self.serves[node.name] += 1
+                return TieredAccessResult(
+                    node.name, latency, tuple(probed),
+                    tuple(probed[:-1]),
+                )
+            latency += node.transfer_cost
+        backing = self.graph.backing
+        backing.reads += 1
+        self.serves[backing.name] += 1
+        return TieredAccessResult(
+            backing.name,
+            latency + backing.latency,
+            tuple(probed),
+            tuple(probed),
+        )
+
+    def _access_deferred(self, path, entry, address, is_write):
+        # Probe without filling, then let the placement strategy name
+        # the tiers that keep a copy.
+        latency = 0
+        probed = []
+        served = len(path)
+        for depth, node in enumerate(path):
+            result = node.cache.lookup(address, depth == 0 and is_write)
+            latency += node.hit_latency
+            probed.append(node.name)
+            if result.hit:
+                served = depth
+                break
+            latency += node.transfer_cost
+        backing = self.graph.backing
+        if served == len(path):
+            backing.reads += 1
+            latency += backing.latency
+            served_name = backing.name
+        else:
+            served_name = path[served].name
+        self.serves[served_name] += 1
+
+        targets = self.placement.copy_tiers(
+            len(path), served, address >> self._block_shifts[entry]
+        )
+        # A write that misses every tier and is admitted nowhere has no
+        # dirty line to hold it — it goes through to backing. Otherwise
+        # the topmost admitted copy takes the dirty bit (a write that
+        # hit was already dirtied by lookup at the serving tier).
+        total_miss_write = is_write and served == len(path)
+        if total_miss_write and not targets:
+            backing.writes += 1
+        dirty_target = min(targets) if (total_miss_write and targets) else None
+        admitted = []
+        for depth in sorted(targets, reverse=True):
+            node = path[depth]
+            result = node.cache.admit(address, dirty=depth == dirty_target)
+            if result.writeback:
+                self._spill(node, result.evicted_tag, result.set_index)
+            if not result.hit:
+                admitted.append(node.name)
+        admitted.reverse()
+        return TieredAccessResult(
+            served_name, latency, tuple(probed), tuple(admitted)
+        )
+
+    def serve_counts(self) -> Dict[str, int]:
+        """Serves per node (tiers + backing), copied."""
+        return dict(self.serves)

@@ -1,0 +1,240 @@
+"""Edge cases and refactor-identity checks for the cache hierarchy.
+
+The hierarchy is now a two-tier instantiation of :mod:`repro.tiers`;
+these tests pin the behaviors the refactor must not move: degenerate
+configurations (no L1s, a single L1, a free bus), the instruction/data
+split accounting, the block-size validation, and — the heavy hammer —
+access-for-access identity against a straight-line reimplementation of
+the original hard-coded walk on randomized mixed streams.
+"""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy, HierarchyResult
+from repro.policies.registry import make_policy
+from repro.utils.rng import DeterministicRNG
+
+
+def make_cache(size, ways, hit_latency, line_bytes=64, policy="lru"):
+    config = CacheConfig(size_bytes=size, ways=ways, line_bytes=line_bytes,
+                         hit_latency=hit_latency)
+    return SetAssociativeCache(
+        config, make_policy(policy, config.num_sets, config.ways)
+    )
+
+
+class TestL1OnlyConfigs:
+    def test_l1d_only_inst_fetches_go_direct_to_l2(self):
+        hierarchy = CacheHierarchy(
+            l2=make_cache(8 * 1024, 8, 15),
+            l1d=make_cache(1024, 4, 2),
+        )
+        data = hierarchy.access_data(0x1000)
+        assert data.hit_level == "memory"
+        assert data.latency == 2 + 15 + 184
+        # No L1I: instruction fetches walk straight into the L2.
+        inst = hierarchy.access_inst(0x2000)
+        assert inst.hit_level == "memory"
+        assert inst.latency == 15 + 184
+        assert inst.l2_accessed
+        assert hierarchy.access_inst(0x2000).hit_level == "l2"
+
+    def test_l1i_only_data_goes_direct_to_l2(self):
+        hierarchy = CacheHierarchy(
+            l2=make_cache(8 * 1024, 8, 15),
+            l1i=make_cache(1024, 4, 2),
+        )
+        assert hierarchy.access_inst(0x3000).latency == 2 + 15 + 184
+        data = hierarchy.access_data(0x3000)
+        # The inst fetch already filled the L2: direct data access hits.
+        assert data.hit_level == "l2"
+        assert data.latency == 15
+
+    def test_direct_l2_write_hit_marks_dirty(self):
+        hierarchy = CacheHierarchy(l2=make_cache(1024, 4, 15))
+        address = 0x40
+        hierarchy.access_l2(address)
+        hierarchy.access_l2(address, is_write=True)
+        l2 = hierarchy.l2
+        way = l2.sets[l2.config.set_index(address)].find(l2.config.tag(address))
+        assert l2.sets[l2.config.set_index(address)].is_dirty(way)
+
+
+class TestFreeBus:
+    def test_bus_transfer_cycles_zero(self):
+        hierarchy = CacheHierarchy(
+            l2=make_cache(8 * 1024, 8, 15),
+            l1d=make_cache(1024, 4, 2),
+            memory_latency=100,
+            bus_transfer_cycles=0,
+        )
+        assert hierarchy.miss_penalty == 100
+        result = hierarchy.access_data(0x5000)
+        assert result.latency == 2 + 15 + 100
+        assert hierarchy.access_data(0x5000).latency == 2
+
+
+class TestSplitAccounting:
+    def test_inst_and_data_streams_account_separately(self):
+        hierarchy = CacheHierarchy(
+            l2=make_cache(32 * 1024, 8, 15),
+            l1d=make_cache(2 * 1024, 4, 2),
+            l1i=make_cache(2 * 1024, 4, 2),
+        )
+        for i in range(8):
+            hierarchy.access_data(0x10000 + 64 * i)
+        for i in range(4):
+            hierarchy.access_inst(0x20000 + 64 * i)
+        # Each L1 saw only its own stream...
+        assert hierarchy.l1d.stats.accesses == 8
+        assert hierarchy.l1i.stats.accesses == 4
+        # ...while the shared L2 saw every L1 miss (all cold here).
+        assert hierarchy.l2.stats.accesses == 12
+        assert hierarchy.memory_reads == 12
+        # Re-touching an address through the *other* stream must not
+        # hit in the wrong L1, but does hit in the shared L2.
+        result = hierarchy.access_inst(0x10000)
+        assert result.hit_level == "l2"
+        assert hierarchy.l1i.stats.misses == 5
+
+    def test_same_line_resident_in_both_l1s(self):
+        hierarchy = CacheHierarchy(
+            l2=make_cache(32 * 1024, 8, 15),
+            l1d=make_cache(2 * 1024, 4, 2),
+            l1i=make_cache(2 * 1024, 4, 2),
+        )
+        hierarchy.access_data(0x8000)
+        hierarchy.access_inst(0x8000)
+        assert hierarchy.access_data(0x8000).hit_level == "l1"
+        assert hierarchy.access_inst(0x8000).hit_level == "l1"
+
+
+class TestBlockSizeValidation:
+    def test_l1d_block_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="block size"):
+            CacheHierarchy(
+                l2=make_cache(8 * 1024, 8, 15, line_bytes=64),
+                l1d=make_cache(1024, 4, 2, line_bytes=32),
+            )
+
+    def test_l1i_block_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="block size"):
+            CacheHierarchy(
+                l2=make_cache(8 * 1024, 8, 15, line_bytes=64),
+                l1i=make_cache(1024, 4, 2, line_bytes=128),
+            )
+
+    def test_matching_block_sizes_accepted(self):
+        hierarchy = CacheHierarchy(
+            l2=make_cache(8 * 1024, 8, 15, line_bytes=32),
+            l1d=make_cache(1024, 4, 2, line_bytes=32),
+        )
+        assert hierarchy.access_data(0x100).hit_level == "memory"
+
+
+class ReferenceHierarchy:
+    """The original hard-coded L1/L2/memory walk, verbatim.
+
+    Kept as an executable specification: the tier-graph instantiation
+    must reproduce this walk access-for-access, including every
+    side-channel (per-cache stats, dirty bits, memory counters).
+    """
+
+    def __init__(self, l2, l1d=None, l1i=None, memory_latency=120,
+                 bus_transfer_cycles=64):
+        self.l2 = l2
+        self.l1d = l1d
+        self.l1i = l1i
+        self.memory_latency = memory_latency
+        self.bus_transfer_cycles = bus_transfer_cycles
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    @property
+    def miss_penalty(self):
+        return self.memory_latency + self.bus_transfer_cycles
+
+    def access_l2(self, address, is_write=False):
+        result = self.l2.access(address, is_write)
+        if result.writeback:
+            self.memory_writes += 1
+        if result.hit:
+            return HierarchyResult("l2", self.l2.config.hit_latency, True, False)
+        self.memory_reads += 1
+        return HierarchyResult(
+            "memory", self.l2.config.hit_latency + self.miss_penalty, True, True
+        )
+
+    def _through_l1(self, l1, address, is_write):
+        if l1 is None:
+            return self.access_l2(address, is_write)
+        l1_result = l1.access(address, is_write)
+        if l1_result.hit:
+            return HierarchyResult("l1", l1.config.hit_latency, False, False)
+        if l1_result.writeback:
+            evicted_base = l1.config.rebuild_address(
+                l1_result.evicted_tag, l1_result.set_index
+            )
+            self.l2.access(evicted_base, is_write=True)
+        below = self.access_l2(address, is_write=False)
+        return HierarchyResult(
+            below.hit_level, l1.config.hit_latency + below.latency,
+            True, below.l2_miss,
+        )
+
+    def access_data(self, address, is_write=False):
+        return self._through_l1(self.l1d, address, is_write)
+
+    def access_inst(self, address):
+        return self._through_l1(self.l1i, address, is_write=False)
+
+
+def snapshot(cache):
+    return (
+        cache.stats.accesses, cache.stats.hits, cache.stats.misses,
+        cache.stats.evictions, cache.stats.writebacks,
+        [s.state_dict() for s in cache.sets],
+    )
+
+
+@pytest.mark.parametrize("policy", ["lru", "lfu", "srrip"])
+@pytest.mark.parametrize("with_l1", [True, False])
+def test_fuzz_identity_with_reference_walk(policy, with_l1):
+    """Randomized mixed inst/data/write streams: the tier-graph walk and
+    the original hard-coded walk must agree on every result and every
+    piece of cache state."""
+
+    def build():
+        l2 = make_cache(4 * 1024, 4, 15, policy=policy)
+        l1d = make_cache(512, 2, 2, policy=policy) if with_l1 else None
+        l1i = make_cache(512, 2, 2, policy=policy) if with_l1 else None
+        return l2, l1d, l1i
+
+    l2_a, l1d_a, l1i_a = build()
+    l2_b, l1d_b, l1i_b = build()
+    new = CacheHierarchy(l2=l2_a, l1d=l1d_a, l1i=l1i_a)
+    ref = ReferenceHierarchy(l2=l2_b, l1d=l1d_b, l1i=l1i_b)
+
+    rng = DeterministicRNG(20260808)
+    for _ in range(4000):
+        address = rng.randint(0, 1 << 16) & ~0x3F
+        kind = rng.randint(0, 3)
+        if kind == 0:
+            got = new.access_inst(address)
+            want = ref.access_inst(address)
+        elif kind == 1:
+            got = new.access_data(address, is_write=True)
+            want = ref.access_data(address, is_write=True)
+        else:
+            got = new.access_data(address)
+            want = ref.access_data(address)
+        assert got == want
+
+    assert new.memory_reads == ref.memory_reads
+    assert new.memory_writes == ref.memory_writes
+    assert snapshot(new.l2) == snapshot(ref.l2)
+    if with_l1:
+        assert snapshot(new.l1d) == snapshot(ref.l1d)
+        assert snapshot(new.l1i) == snapshot(ref.l1i)

@@ -15,7 +15,7 @@ class TestCli:
             "sec44", "sec46", "sec47", "storage", "theory",
             "ablations", "ext-shared", "ext-prefetch", "ext-dip", "ext-skew",
             "ext-validate", "ext-faults", "ext-online", "ext-cluster",
-            "seeds",
+            "ext-tiers", "seeds",
         }
         assert set(EXPERIMENTS) == expected
 

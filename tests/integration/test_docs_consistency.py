@@ -22,6 +22,7 @@ class TestDocsExist:
             "robustness.md",
             "testing.md",
             "theory.md",
+            "tiers.md",
             "timing-model.md",
             "workloads.md",
         ]
@@ -68,6 +69,7 @@ class TestDocsReferenceRealCode:
         import repro.perf
         import repro.policies
         import repro.prefetch
+        import repro.tiers
         import repro.workloads
 
         text = (DOCS / "api.md").read_text()
@@ -78,7 +80,7 @@ class TestDocsReferenceRealCode:
             repro.workloads, repro.analysis, repro.prefetch,
             repro.experiments, repro.experiments.runner,
             repro.experiments.checkpoint, repro.faults, repro.online,
-            repro.oracle, repro.perf, repro.cluster,
+            repro.oracle, repro.perf, repro.cluster, repro.tiers,
         ]
         for symbol in symbols:
             assert any(hasattr(ns, symbol) for ns in namespaces), symbol

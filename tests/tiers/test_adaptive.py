@@ -1,0 +1,115 @@
+"""Unit tests for adaptive placement (Algorithm 1 over strategies)."""
+
+import pytest
+
+from repro.tiers.adaptive import AdaptivePlacement
+from repro.tiers.placement import LeaveCopyDown, LeaveCopyEverywhere
+
+
+def make_adaptive(**overrides):
+    kwargs = dict(
+        tier_capacities=[8, 64],
+        components=("lce", "lcd"),
+        num_partitions=4,
+        seed=0,
+    )
+    kwargs.update(overrides)
+    return AdaptivePlacement(**kwargs)
+
+
+class TestConstruction:
+    def test_rejects_single_component(self):
+        with pytest.raises(ValueError, match=">= 2 components"):
+            make_adaptive(components=("lce",))
+
+    def test_rejects_nesting(self):
+        with pytest.raises(ValueError, match="nest"):
+            make_adaptive(components=("lce", "adaptive"))
+
+    def test_rejects_bad_partitions_and_capacities(self):
+        with pytest.raises(ValueError):
+            make_adaptive(num_partitions=0)
+        with pytest.raises(ValueError):
+            make_adaptive(tier_capacities=[])
+        with pytest.raises(ValueError):
+            make_adaptive(tier_capacities=[8, 0])
+
+    def test_initial_votes_favor_component_zero(self):
+        adaptive = make_adaptive()
+        assert adaptive.votes() == (0, 0, 0, 0)
+        assert adaptive.majority() == "lce"
+
+
+class TestDecisionDelegation:
+    def test_fresh_selector_imitates_first_component(self):
+        adaptive = make_adaptive()
+        lce = LeaveCopyEverywhere()
+        for served in range(3):
+            assert adaptive.copy_tiers(2, served, key=17) == \
+                lce.copy_tiers(2, served, key=17)
+        assert adaptive.decisions[0] == 3
+
+    def test_trained_partition_switches_delegate(self):
+        # A hot set that fits the near tier, interleaved with a long
+        # scan: LCE admits every scanned key into the near tier and
+        # evicts the hot set (serving it from the far tier), while LCD
+        # keeps scan traffic out of the near tier — so LCE's shadow
+        # serves hot keys strictly deeper, and decisive events pile up
+        # against component 0.
+        adaptive = make_adaptive(tier_capacities=[4, 32], num_partitions=1)
+        hot = [0, 1, 2]
+        cold = iter(range(1000, 100000))
+        for round_index in range(400):
+            for key in hot:
+                adaptive.observe_access(key)
+            for _ in range(4):
+                adaptive.observe_access(next(cold))
+        votes = adaptive.votes()
+        assert votes == (1,), (
+            f"expected the scan-polluted partition to imitate lcd, "
+            f"votes={votes}, switches={adaptive.switches}"
+        )
+        lcd = LeaveCopyDown()
+        assert adaptive.copy_tiers(2, 2, key=hot[0]) == \
+            lcd.copy_tiers(2, 2, key=hot[0])
+        assert adaptive.decisions[1] == 1
+
+    def test_deterministic_across_instances(self):
+        a = make_adaptive()
+        b = make_adaptive()
+        for key in range(500):
+            a.observe_access(key % 37)
+            b.observe_access(key % 37)
+        assert a.votes() == b.votes()
+        assert a.switches == b.switches
+        assert a.state_summary() == b.state_summary()
+
+
+class TestIntrospection:
+    def test_state_summary_shape(self):
+        adaptive = make_adaptive()
+        for key in range(100):
+            adaptive.observe_access(key % 13)
+            adaptive.copy_tiers(2, 2, key % 13)
+        summary = adaptive.state_summary()
+        assert summary["name"] == "adaptive"
+        assert summary["components"] == ["lce", "lcd"]
+        assert len(summary["votes"]) == 4
+        assert summary["majority"] in ("lce", "lcd")
+        assert sum(summary["decisions"]) == 100
+        assert summary["switches"] == adaptive.switches
+
+    def test_partitions_are_independent(self):
+        adaptive = make_adaptive(num_partitions=2)
+        # Keys in one partition never touch the other's shadow state.
+        keys = list(range(64))
+        partition_of = {
+            key: adaptive._partition(key) for key in keys
+        }
+        zero_keys = [k for k in keys if partition_of[k] == 0]
+        assert zero_keys and len(zero_keys) < len(keys)
+        for key in zero_keys:
+            adaptive.observe_access(key)
+        untouched = adaptive.selectors[1]
+        assert untouched.history.state_dict() == \
+            make_adaptive(num_partitions=2).selectors[1].history.state_dict()

@@ -1,0 +1,167 @@
+"""Unit tests for the KV tier walker and the canonical topologies."""
+
+import pytest
+
+from repro.cluster.cache import ClusterKVCache
+from repro.online.engine import AdaptiveKVCache
+from repro.online.policies import build_shard_policy
+from repro.online.shard import CacheShard
+from repro.tiers.adaptive import AdaptivePlacement
+from repro.tiers.kv import (
+    KVTier,
+    TieredKVCache,
+    client_local_topology,
+    tiered_front,
+)
+from repro.tiers.placement import LeaveCopyDown, ProbabilisticLCD
+
+
+def make_shard(capacity, policy="lru", seed=0):
+    return CacheShard(capacity, build_shard_policy(policy, capacity, seed=seed))
+
+
+def two_tier(placement=None, near=4, far=32):
+    return TieredKVCache(
+        [
+            KVTier("near", make_shard(near), near, hit_latency=1),
+            KVTier("far", make_shard(far, seed=1), far, hit_latency=10,
+                   transfer_cost=2),
+        ],
+        placement=placement,
+        backing_latency=100,
+    )
+
+
+class TestWalk:
+    def test_cold_fetch_fills_everywhere_under_lce(self):
+        cache = two_tier()
+        result = cache.fetch("k", lambda key: f"v:{key}")
+        assert result.served_by == "backing"
+        assert result.value == "v:k"
+        assert result.latency == 1 + 10 + 2 + 100
+        assert result.admitted == ("near", "far")
+        assert cache.resident_in("k") == ["near", "far"]
+        warm = cache.get_detailed("k")
+        assert warm.served_by == "near"
+        assert warm.latency == 1
+
+    def test_plain_get_miss_consults_no_backing(self):
+        cache = two_tier()
+        result = cache.get_detailed("absent", default="fallback")
+        assert not result.found
+        assert result.value == "fallback"
+        assert cache.backing_fetches == 0
+
+    def test_far_hit_promotes_under_lce(self):
+        cache = two_tier()
+        cache.tiers[1].admit("k", "v")
+        result = cache.get_detailed("k")
+        assert result.served_by == "far"
+        assert result.latency == 1 + 10
+        assert result.admitted == ("near",)
+        assert cache.get_detailed("k").served_by == "near"
+
+    def test_lcd_climbs_one_tier_per_hit(self):
+        cache = two_tier(placement=LeaveCopyDown())
+        cache.get_or_compute("k", lambda key: "v")   # -> far only
+        assert cache.resident_in("k") == ["far"]
+        second = cache.get_detailed("k")             # far serve -> near
+        assert second.served_by == "far"
+        assert cache.resident_in("k") == ["near", "far"]
+        assert cache.get_detailed("k").served_by == "near"
+
+    def test_put_invalidates_skipped_tiers(self):
+        cache = two_tier(placement=LeaveCopyDown())
+        cache.put("k", "v1")
+        cache.get("k")       # promote into near
+        assert cache.resident_in("k") == ["near", "far"]
+        cache.put("k", "v2")  # LCD put targets far; near copy must die
+        assert cache.resident_in("k") == ["far"]
+        assert cache.get("k") == "v2"
+
+    def test_put_never_dropped_when_strategy_declines(self):
+        cache = two_tier(placement=ProbabilisticLCD(p=0.0))
+        cache.put("k", "v")
+        assert cache.resident_in("k") == ["far"]
+        assert cache.get("k") == "v"
+
+    def test_delete_clears_every_tier(self):
+        cache = two_tier()
+        cache.get_or_compute("k", lambda key: "v")
+        assert cache.delete("k")
+        assert cache.resident_in("k") == []
+        assert not cache.delete("k")
+
+    def test_stats_shape(self):
+        cache = two_tier()
+        cache.get_or_compute("a", lambda key: 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["gets"] == 3
+        assert stats["backing_fetches"] == 1
+        assert stats["tier_hits"] == 1
+        assert stats["serves"]["near"] == 1
+        assert stats["placement"]["name"] == "lce"
+        assert stats["mean_latency"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one tier"):
+            TieredKVCache([])
+        with pytest.raises(ValueError, match="unique"):
+            TieredKVCache([
+                KVTier("t", make_shard(4), 4),
+                KVTier("t", make_shard(4), 4),
+            ])
+        with pytest.raises(ValueError):
+            KVTier("t", make_shard(4), 0)
+
+
+class TestAdaptivePlacementOverKV:
+    def test_adaptive_walker_end_to_end(self):
+        tiers = [
+            KVTier("near", make_shard(8), 8, hit_latency=1),
+            KVTier("far", make_shard(64, seed=1), 64, hit_latency=10),
+        ]
+        cache = TieredKVCache(
+            tiers,
+            placement=AdaptivePlacement([8, 64], num_partitions=2),
+            backing_latency=100,
+        )
+        for i in range(300):
+            cache.get_or_compute(i % 40, lambda key: key)
+        stats = cache.stats()
+        assert stats["placement"]["name"] == "adaptive"
+        assert sum(stats["placement"]["decisions"]) == 300
+        assert stats["tier_hits"] > 0
+
+
+class TestCanonicalTopologies:
+    def test_tiered_front_over_adaptive_kv_cache(self):
+        far = AdaptiveKVCache(capacity_entries=64, num_shards=4,
+                              policy="adaptive")
+        front = tiered_front(far, near_capacity=8, far_capacity=64)
+        for i in range(50):
+            front.get_or_compute(f"key:{i % 20}", lambda key: key.upper())
+        assert front.stats()["tier_hits"] > 0
+        # The far engine really is the AdaptiveKVCache: its own stats
+        # moved, and values are shared between the fronts.
+        assert far.stats().gets > 0
+        assert front.get("key:0") == "KEY:0"
+        assert far.get("key:0") == "KEY:0"
+
+    def test_client_local_topology_over_cluster(self):
+        with ClusterKVCache(num_nodes=3, replication=2, seed=5) as ring:
+            topo = client_local_topology(
+                ring, local_capacity=4, cluster_capacity=256
+            )
+            topo.put("user:1", {"name": "ada"})
+            assert topo.get("user:1") == {"name": "ada"}
+            # The ring holds the value independently of the local tier.
+            assert ring.get("user:1") == {"name": "ada"}
+            topo.delete("user:1")
+            assert ring.get("user:1") is None
+            value = topo.get_or_compute("user:2", lambda key: "computed")
+            assert value == "computed"
+            assert topo.serves["backing"] == 1
+            assert topo.get("user:2") == "computed"

@@ -1,0 +1,201 @@
+"""Unit tests for the hardware tier graph and walker."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.policies.registry import make_policy
+from repro.tiers.placement import LeaveCopyDown, ProbabilisticLCD
+from repro.tiers.topology import BackingStore, TierGraph, TieredCache
+
+
+def make_cache(size, ways, hit_latency, line_bytes=64):
+    config = CacheConfig(size_bytes=size, ways=ways, line_bytes=line_bytes,
+                         hit_latency=hit_latency)
+    return SetAssociativeCache(
+        config, make_policy("lru", config.num_sets, config.ways)
+    )
+
+
+def three_tier_graph():
+    graph = TierGraph(BackingStore("origin", latency=100))
+    graph.add_tier("l3", make_cache(8 * 1024, 8, 20), transfer_cost=10)
+    graph.add_tier("l2", make_cache(2 * 1024, 4, 5), below="l3",
+                   transfer_cost=2)
+    graph.add_tier("l1", make_cache(512, 2, 1), below="l2")
+    return graph
+
+
+class TestTierGraph:
+    def test_paths_and_entry_points(self):
+        graph = three_tier_graph()
+        assert graph.entry_points() == ("l1",)
+        assert [n.name for n in graph.path_from("l1")] == ["l1", "l2", "l3"]
+        assert [n.name for n in graph.path_from("l3")] == ["l3"]
+
+    def test_split_top_tiers(self):
+        graph = TierGraph()
+        graph.add_tier("l2", make_cache(4 * 1024, 4, 15), transfer_cost=64)
+        graph.add_tier("l1d", make_cache(512, 2, 2), below="l2")
+        graph.add_tier("l1i", make_cache(512, 2, 2), below="l2")
+        assert set(graph.entry_points()) == {"l1d", "l1i"}
+
+    def test_rejects_duplicate_and_unknown_names(self):
+        graph = three_tier_graph()
+        with pytest.raises(ValueError, match="already in use"):
+            graph.add_tier("l2", make_cache(512, 2, 1), below="l3")
+        with pytest.raises(ValueError, match="unknown tier"):
+            graph.add_tier("l0", make_cache(512, 2, 1), below="nope")
+
+    def test_rejects_block_size_mismatch(self):
+        graph = TierGraph()
+        graph.add_tier("l2", make_cache(4 * 1024, 4, 15, line_bytes=64))
+        with pytest.raises(ValueError, match="line size"):
+            graph.add_tier("l1", make_cache(512, 2, 1, line_bytes=32),
+                           below="l2")
+
+    def test_rejects_bad_costs(self):
+        with pytest.raises(ValueError):
+            BackingStore(latency=0)
+        graph = TierGraph()
+        with pytest.raises(ValueError):
+            graph.add_tier("l1", make_cache(512, 2, 1), transfer_cost=-1)
+
+
+class TestEagerWalk:
+    def test_three_tier_latency_arithmetic(self):
+        walker = TieredCache(three_tier_graph())
+        cold = walker.access(0x10000)
+        assert cold.served_by == "origin"
+        # l1 + l2 + l3 hit latencies, l2 and l3 edge costs, origin.
+        assert cold.latency == 1 + 5 + 20 + 2 + 10 + 100
+        assert cold.probed == ("l1", "l2", "l3")
+        assert cold.admitted == ("l1", "l2", "l3")
+        warm = walker.access(0x10000)
+        assert warm.served_by == "l1"
+        assert warm.latency == 1
+        assert walker.backing_reads == 1
+        assert walker.serve_counts()["origin"] == 1
+
+    def test_mid_tier_hit(self):
+        walker = TieredCache(three_tier_graph())
+        walker.access(0x10000)
+        # Push the line out of the 2-way l1 set, keep it in l2.
+        l1 = walker.graph.tier("l1").cache
+        set_index = l1.config.set_index(0x10000)
+        for tag in range(300, 302):
+            walker.access(l1.config.rebuild_address(tag, set_index))
+        result = walker.access(0x10000)
+        assert result.served_by == "l2"
+        assert result.latency == 1 + 5
+        assert result.admitted == ("l1",)
+
+    def test_multiple_entries_require_explicit_choice(self):
+        graph = TierGraph()
+        graph.add_tier("l2", make_cache(4 * 1024, 4, 15))
+        graph.add_tier("l1d", make_cache(512, 2, 2), below="l2")
+        graph.add_tier("l1i", make_cache(512, 2, 2), below="l2")
+        walker = TieredCache(graph)
+        with pytest.raises(ValueError, match="entry points"):
+            walker.access(0x100)
+        assert walker.access(0x100, entry="l1d").served_by == graph.backing.name
+
+
+class TestDeferredWalk:
+    def test_lcd_fills_bottom_tier_only_on_cold_miss(self):
+        walker = TieredCache(three_tier_graph(), placement=LeaveCopyDown())
+        cold = walker.access(0x10000)
+        assert cold.served_by == "origin"
+        assert cold.admitted == ("l3",)
+        assert not walker.graph.tier("l1").cache.contains(0x10000)
+        assert not walker.graph.tier("l2").cache.contains(0x10000)
+        assert walker.graph.tier("l3").cache.contains(0x10000)
+
+    def test_lcd_climbs_one_tier_per_hit(self):
+        walker = TieredCache(three_tier_graph(), placement=LeaveCopyDown())
+        walker.access(0x10000)            # -> l3
+        second = walker.access(0x10000)   # served l3, promoted to l2
+        assert second.served_by == "l3"
+        assert second.admitted == ("l2",)
+        third = walker.access(0x10000)    # served l2, promoted to l1
+        assert third.served_by == "l2"
+        assert third.admitted == ("l1",)
+        fourth = walker.access(0x10000)
+        assert fourth.served_by == "l1"
+        assert fourth.latency == 1
+
+    def test_problcd_p_zero_never_climbs(self):
+        walker = TieredCache(
+            three_tier_graph(), placement=ProbabilisticLCD(p=0.0)
+        )
+        walker.access(0x10000)
+        for _ in range(5):
+            result = walker.access(0x10000)
+        # p=0 probabilistic LCD admits nothing, so even the backing
+        # fill never lands: every access goes to origin.
+        assert result.served_by == "origin"
+        assert walker.backing_reads == 6
+
+    def test_write_miss_admitted_nowhere_goes_to_backing(self):
+        walker = TieredCache(
+            three_tier_graph(), placement=ProbabilisticLCD(p=0.0)
+        )
+        walker.access(0x20000, is_write=True)
+        assert walker.backing_writes == 1
+
+    def test_lcd_write_allocates_dirty_in_bottom_tier(self):
+        walker = TieredCache(three_tier_graph(), placement=LeaveCopyDown())
+        walker.access(0x20000, is_write=True)
+        l3 = walker.graph.tier("l3").cache
+        way = l3.sets[l3.config.set_index(0x20000)].find(
+            l3.config.tag(0x20000)
+        )
+        assert way is not None
+        assert l3.sets[l3.config.set_index(0x20000)].is_dirty(way)
+        assert walker.backing_writes == 0
+
+    def test_dirty_victim_of_bottom_tier_reaches_backing(self):
+        graph = TierGraph(BackingStore("origin", latency=100))
+        graph.add_tier("only", make_cache(1024, 4, 5), transfer_cost=1)
+        walker = TieredCache(graph, placement=LeaveCopyDown())
+        config = graph.tier("only").cache.config
+        walker.access(config.rebuild_address(1, 0), is_write=True)
+        for tag in range(2, 2 + config.ways):
+            walker.access(config.rebuild_address(tag, 0))
+        assert walker.backing_writes == 1
+
+
+class TestLookupAdmitPrimitives:
+    def test_lookup_counts_but_never_fills(self):
+        cache = make_cache(1024, 4, 1)
+        result = cache.lookup(0x100)
+        assert not result.hit
+        assert cache.stats.misses == 1
+        assert cache.resident_block_count() == 0
+
+    def test_admit_fills_without_counting_a_reference(self):
+        cache = make_cache(1024, 4, 1)
+        cache.admit(0x100)
+        assert cache.stats.accesses == 0
+        assert cache.contains(0x100)
+        assert cache.lookup(0x100).hit
+
+    def test_admit_evicts_and_counts_writebacks(self):
+        cache = make_cache(1024, 4, 1)
+        config = cache.config
+        cache.admit(config.rebuild_address(1, 0), dirty=True)
+        for tag in range(2, 2 + config.ways):
+            cache.admit(config.rebuild_address(tag, 0))
+        result = cache.admit(config.rebuild_address(99, 0))
+        assert cache.stats.evictions == 2
+        assert cache.stats.writebacks == 1
+        assert result.evicted_tag is not None
+
+    def test_admit_resident_line_is_idempotent(self):
+        cache = make_cache(1024, 4, 1)
+        cache.admit(0x100)
+        cache.admit(0x100, dirty=True)
+        assert cache.resident_block_count() == 1
+        set_index = cache.config.set_index(0x100)
+        way = cache.sets[set_index].find(cache.config.tag(0x100))
+        assert cache.sets[set_index].is_dirty(way)
