@@ -35,6 +35,7 @@ from repro.experiments import (
     ext_faults,
     ext_online,
     ext_prefetch,
+    ext_serve,
     ext_skew,
     ext_tiers,
     ext_validate,
@@ -77,6 +78,7 @@ EXPERIMENTS = {
     "ext-validate": ext_validate,
     "ext-faults": ext_faults,
     "ext-online": ext_online,
+    "ext-serve": ext_serve,
     "ext-cluster": ext_cluster,
     "ext-tiers": ext_tiers,
     "seeds": seed_sensitivity,
@@ -98,10 +100,14 @@ def _run_result(name: str, args: argparse.Namespace):
     # suite-wide --workloads restriction does not apply to it either.
     if args.workloads and name not in ("fig7", "ext-shared", "ext-skew",
                                        "ext-online", "ext-cluster",
-                                       "ext-tiers"):
+                                       "ext-tiers", "ext-serve"):
         kwargs["workloads"] = args.workloads
     if name == "ext-online" and getattr(args, "snapshot_dir", None):
         kwargs["snapshot_dir"] = args.snapshot_dir
+    if name == "ext-serve":
+        kwargs["seed"] = args.seed
+        if args.quick:
+            kwargs["quick"] = True
     return module.run(setup=setup, **kwargs)
 
 
@@ -156,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(EXPERIMENTS)
         + ["all", "report", "policies", "golden", "perf", "recover",
-           "cluster"],
+           "cluster", "serve"],
         help="which table/figure to regenerate ('report' writes a "
         "markdown report of everything; 'policies' lists the "
         "registered replacement policies; 'golden' checks or "
@@ -166,7 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
         "and prints its stats digest; 'cluster' streams a replicated "
         "durable cluster under --cluster-dir with an acked-write "
         "ledger, or with --verify recovers every member from disk and "
-        "asserts zero acked-write loss)",
+        "asserts zero acked-write loss; 'serve' runs the open-loop "
+        "serving harness across the steady/overload/degraded regimes "
+        "and writes BENCH_serve.json)",
     )
     parser.add_argument(
         "--out",
@@ -280,7 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="with 'perf': shorter streams and a smaller sweep (CI mode)",
+        help="with 'perf', 'serve' and 'ext-serve': shorter streams "
+        "and a smaller sweep (CI mode)",
     )
     parser.add_argument(
         "--cluster-dir",
@@ -345,13 +354,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed",
         type=int,
         default=0,
-        help="with 'cluster': stream and placement seed (default 0)",
+        help="with 'cluster', 'serve' and 'ext-serve': stream and "
+        "placement seed (default 0)",
     )
     parser.add_argument(
         "--perf-out",
         default="BENCH_perf.json",
         metavar="PATH",
         help="with 'perf': where to write the benchmark report JSON",
+    )
+    parser.add_argument(
+        "--serve-out",
+        default="BENCH_serve.json",
+        metavar="PATH",
+        help="with 'serve': where to write the SLO report JSON",
     )
     return parser
 
@@ -469,6 +485,19 @@ def _run_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the open-loop serving harness; write BENCH_serve.json."""
+    from repro.experiments.ext_serve import to_result
+    from repro.serve.harness import run_serve
+    from repro.utils.atomicio import atomic_write_text
+
+    report = run_serve(quick=args.quick, seed=args.seed)
+    print(to_result(report).render())
+    atomic_write_text(args.serve_out, report.to_json())
+    print(f"wrote {args.serve_out}")
+    return 0
+
+
 def _run_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
     from repro.utils.atomicio import atomic_write_text
@@ -511,6 +540,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_perf(args)
         if args.experiment == "recover":
             return _run_recover(args)
+        if args.experiment == "serve":
+            return _run_serve(args)
         if args.experiment == "cluster":
             from repro.experiments.cluster_cli import run_cluster
 

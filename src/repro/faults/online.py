@@ -86,20 +86,85 @@ class FlakyLoader:
         self.calls = 0
         self.failures = 0
 
-    def __call__(self, key):
-        """One loader call; may raise ``IOError`` or inject latency."""
+    def _decide(self, key):
+        """Draw one call's fate: ``(delay_seconds, error_or_None)``.
+
+        Shared by the sync and async call paths so both consume the
+        seeded stream identically — a plan replayed through either
+        loader makes the same injection decisions.
+        """
         self.calls += 1
-        if self._sleep is not None and self.latency > 0:
-            if self._rng.random() < self.latency_rate:
-                self._sleep(self.latency)
+        delay = 0.0
+        if self.latency > 0 and self._rng.random() < self.latency_rate:
+            delay = self.latency
         if self._burst_left > 0:
             self._burst_left -= 1
             self.failures += 1
-            raise IOError(f"injected burst failure for {key!r}")
+            return delay, IOError(f"injected burst failure for {key!r}")
         if self._rng.random() < self.failure_rate:
             self._burst_left = self.burst
             self.failures += 1
-            raise IOError(f"injected failure for {key!r}")
+            return delay, IOError(f"injected failure for {key!r}")
+        return delay, None
+
+    def __call__(self, key):
+        """One loader call; may raise ``IOError`` or inject latency."""
+        if self._sleep is not None and self.latency > 0:
+            delay, error = self._decide(key)
+            if delay > 0:
+                self._sleep(delay)
+        else:
+            # No sleep injected: latency decisions still consume the
+            # stream only when latency is configured (original
+            # behavior: the latency draw is skipped entirely).
+            saved_latency = self.latency
+            if self._sleep is None:
+                self.latency = 0.0
+            try:
+                delay, error = self._decide(key)
+            finally:
+                self.latency = saved_latency
+        if error is not None:
+            raise error
+        return self.base(key)
+
+
+class AsyncFlakyLoader(FlakyLoader):
+    """A :class:`FlakyLoader` whose latency is *awaited*, not slept.
+
+    The open-loop serving harness (:mod:`repro.serve`) models backend
+    service time as awaitable delay on the event loop — under a
+    virtual-time loop, thousands of loader calls overlap without real
+    elapsed time. Failure/burst decisions reuse the seeded
+    :meth:`FlakyLoader._decide` stream, so a chaos plan drives the
+    async ladder exactly as it drives the sync one.
+
+    Args:
+        base: the real loader ``key -> value`` (plain callable).
+        base_latency: seconds awaited on *every* call (the backend's
+            service time); the inherited ``latency``/``latency_rate``
+            model extra spikes on top.
+        (remaining args as :class:`FlakyLoader`)
+    """
+
+    def __init__(self, base, base_latency: float = 0.0, **kwargs):
+        if base_latency < 0:
+            raise ValueError(
+                f"base_latency must be >= 0, got {base_latency}"
+            )
+        super().__init__(base, **kwargs)
+        self.base_latency = base_latency
+
+    async def __call__(self, key):  # type: ignore[override]
+        """One awaited loader call; may raise ``IOError``."""
+        import asyncio
+
+        delay, error = self._decide(key)
+        delay += self.base_latency
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if error is not None:
+            raise error
         return self.base(key)
 
 

@@ -33,6 +33,7 @@ empty, or restored from a persisted snapshot's shard state.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from typing import Callable, Optional
@@ -79,6 +80,66 @@ class RetryPolicy:
         self.backoff = backoff
         self.multiplier = multiplier
         self.budget = budget
+
+
+class RetryBudget:
+    """A shared cap on in-flight retry attempts across all requests.
+
+    Per-request retry schedules compose badly under overload: when a
+    backend browns out, every in-flight request retries and the offered
+    load *multiplies* exactly when capacity is scarcest. A retry budget
+    bounds the blast radius: each retry (never the first attempt) must
+    take a token; requests that find the pool empty skip straight to
+    the stale/degraded ladder instead of queueing more retries.
+
+    Tokens are returned when the attempt settles — including
+    settlement-by-cancellation. The async ladder releases its token in
+    a ``finally`` block, so a request cancelled mid-backoff or
+    mid-loader cannot leak pool capacity; :meth:`release` raises on
+    over-release, making double-counting a loud bug rather than a
+    silent pool inflation.
+
+    Thread-safe (a lock guards the counters) so one budget can span
+    event loops and threads.
+    """
+
+    def __init__(self, tokens: int = 32):
+        if tokens < 1:
+            raise ValueError(f"tokens must be >= 1, got {tokens}")
+        self.tokens = tokens
+        self._lock = threading.Lock()
+        self._in_use = 0
+        #: Retries skipped because the pool was exhausted.
+        self.denied = 0
+
+    def try_acquire(self) -> bool:
+        """Take one token if available; False means skip the retry."""
+        with self._lock:
+            if self._in_use < self.tokens:
+                self._in_use += 1
+                return True
+            self.denied += 1
+            return False
+
+    def release(self) -> None:
+        """Return one token.
+
+        Raises:
+            RuntimeError: released more than acquired — an accounting
+                bug (e.g. a cancellation path releasing twice).
+        """
+        with self._lock:
+            if self._in_use <= 0:
+                raise RuntimeError(
+                    "retry budget released more tokens than were acquired"
+                )
+            self._in_use -= 1
+
+    @property
+    def in_use(self) -> int:
+        """Tokens currently held by in-flight retries."""
+        with self._lock:
+            return self._in_use
 
 
 class CircuitBreaker:
@@ -149,15 +210,44 @@ class CircuitBreaker:
         until :meth:`record_success` / :meth:`record_failure` settles
         the probe's outcome.
         """
+        return self.admit()[0]
+
+    def admit(self) -> "tuple[bool, bool]":
+        """:meth:`allow`, plus whether this caller now holds the probe.
+
+        Returns ``(allowed, is_probe)``. A caller that was admitted as
+        the half-open trial probe owns the probe slot until it settles
+        the outcome (:meth:`record_success` / :meth:`record_failure`)
+        — or, if it is cancelled before the loader resolves, until it
+        releases the slot with :meth:`abort_probe`. Callers that cannot
+        be interrupted mid-call (the sync ladder) may keep using
+        :meth:`allow`; cancellable callers (the async ladder) must use
+        this form so a cancelled probe does not wedge the breaker in
+        half-open forever.
+        """
         with self._lock:
             state = self._advance_locked()
             if state == "open":
-                return False
+                return False, False
             if state == "half_open":
                 if self._probe_inflight:
-                    return False
+                    return False, False
                 self._probe_inflight = True
-            return True
+                return True, True
+            return True, False
+
+    def abort_probe(self) -> None:
+        """Release a held probe slot without recording an outcome.
+
+        For a probe holder that was cancelled before its loader
+        settled: the trial never happened, so the breaker learns
+        nothing — the slot simply reopens for the next caller. Without
+        this, a cancelled probe would leave ``_probe_inflight`` set and
+        every future call refused: an accounting leak with no recovery
+        path.
+        """
+        with self._lock:
+            self._probe_inflight = False
 
     def record_success(self) -> None:
         """Note a successful loader call; recloses a half-open breaker."""
@@ -307,6 +397,101 @@ class ResilientKVCache:
             breaker.record_success()
             self.cache.put(key, value, ttl=ttl)
             return value
+        return self._serve_stale(shard, key, last_error, stale)
+
+    async def aget_or_compute(self, key, loader, ttl=None,
+                              retry_budget: Optional[RetryBudget] = None):
+        """The resilient serving ladder, asynchronously.
+
+        Decision-identical to :meth:`get_or_compute` — same breaker,
+        stale and quarantine ladder, same retry schedule — but backoff
+        pauses are ``await asyncio.sleep`` (virtual under a
+        virtual-time loop) and ``loader`` may be a plain callable or a
+        coroutine function, so thousands of requests overlap on one
+        event loop.
+
+        Cancellation safety (the accounting audit this path exists
+        for): a request cancelled mid-backoff or mid-loader
+
+        * releases its :class:`RetryBudget` token (``finally``), so the
+          shared pool cannot leak;
+        * records *no* breaker outcome — a cancelled attempt is not a
+          backend failure, and counting it would double-charge the
+          failure threshold;
+        * releases a held half-open probe slot
+          (:meth:`CircuitBreaker.abort_probe`), so the breaker cannot
+          wedge with a probe owner that no longer exists.
+
+        Args:
+            retry_budget: optional shared retry-token pool; when
+                exhausted, retries are skipped (the ladder falls
+                through to stale/degraded) rather than queued.
+
+        Raises:
+            LoaderUnavailable: as :meth:`get_or_compute`.
+            asyncio.CancelledError: the caller was cancelled; state is
+                consistent as described above.
+        """
+        index = self._shard_index(key)
+        shard = self.engine.shards[index]
+        if index in self._quarantined:
+            return self._serve_stale(shard, key, None, (False, None))
+
+        stale = shard.peek_stale(key)
+        missing = object()
+        value = self.cache.get(key, missing)
+        if value is not missing:
+            return value
+
+        breaker = self.breakers[index]
+        admitted, probe = breaker.admit()
+        if not admitted:
+            return self._serve_stale(shard, key, None, stale)
+
+        last_error = None
+        started = self._clock()
+        pause = self.retry.backoff
+        try:
+            for attempt in range(self.retry.attempts):
+                token = False
+                try:
+                    if attempt > 0:
+                        if (self.retry.budget is not None
+                                and self._clock() - started
+                                >= self.retry.budget):
+                            break
+                        if (retry_budget is not None
+                                and not retry_budget.try_acquire()):
+                            break
+                        token = retry_budget is not None
+                        if pause > 0:
+                            await asyncio.sleep(pause)
+                        pause *= self.retry.multiplier
+                    try:
+                        value = loader(key)
+                        if asyncio.iscoroutine(value):
+                            value = await value
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as error:  # noqa: BLE001 — loader boundary
+                        last_error = error
+                        breaker.record_failure()
+                        probe = False
+                        admitted, probe = breaker.admit()
+                        if not admitted:
+                            break
+                        continue
+                    breaker.record_success()
+                    probe = False
+                    self.cache.put(key, value, ttl=ttl)
+                    return value
+                finally:
+                    if token:
+                        retry_budget.release()
+        except asyncio.CancelledError:
+            if probe:
+                breaker.abort_probe()
+            raise
         return self._serve_stale(shard, key, last_error, stale)
 
     def _serve_stale(self, shard, key, error, stale=None):

@@ -1,0 +1,525 @@
+"""The open-loop SLO harness: steady, overload and degraded regimes.
+
+This is the measurement the ROADMAP's "open-loop service benchmark"
+item asks for. A seeded request stream (:mod:`repro.workloads.keystreams`)
+arrives on its own schedule at an :class:`~repro.serve.front.AsyncServingFront`
+over a :class:`~repro.online.resilience.ResilientKVCache`, all on a
+virtual-time event loop (:mod:`repro.serve.vloop`) — so a multi-second
+traffic simulation replays in milliseconds and a fixed seed reproduces
+a byte-identical report.
+
+Three regimes tell the serving story:
+
+* **steady** — offered load well under capacity: the baseline SLO
+  (p50/p99/p999, goodput ~= offered, nothing shed);
+* **overload** — bursty MMPP arrivals beyond service capacity with a
+  bounded queue: the load-shedding knob holds tail latency while
+  goodput saturates at capacity and excess arrivals are shed;
+* **degraded** — a flaky backend (seeded failure bursts) plus shards
+  quarantined mid-run and rebuilt later: the resilient ladder serves
+  stale-but-true values (stale fraction > 0) and **never** a wrong one.
+
+Per-request latency lands in a streaming
+:class:`~repro.serve.sketch.LatencySketch` *and* an exact-quantile
+reference list; both are reported, so sketch drift would be visible in
+the report itself. ``repro-experiments serve`` writes the committed
+``BENCH_serve.json``; :func:`check_floors` gates it (and CI re-runs)
+against ``benchmarks/baselines.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.online import AsyncFlakyLoader
+from repro.online.engine import AdaptiveKVCache
+from repro.online.resilience import (
+    CircuitBreaker,
+    LoaderUnavailable,
+    ResilientKVCache,
+    RetryBudget,
+    RetryPolicy,
+)
+from repro.serve.front import AsyncServingFront, RequestShed, RequestTimeout
+from repro.serve.sketch import LatencySketch, exact_quantile
+from repro.serve.vloop import VirtualTimeEventLoop
+from repro.workloads.keystreams import StreamSpec
+
+#: Report schema version for BENCH_serve.json.
+SCHEMA = 1
+
+#: The quantiles every regime reports.
+QUANTILES = (0.5, 0.99, 0.999)
+
+
+def backend_value(key):
+    """The deterministic backend: ground truth per key.
+
+    Stale serves return an *old* value of the same key; with a
+    deterministic backend old values equal current ones, so any
+    mismatch a regime observes is a genuine wrong value (a lie), never
+    mere staleness — the invariant ``wrong_values == 0`` rests on this.
+    """
+    return ("v", key)
+
+
+@dataclass(frozen=True)
+class RegimePlan:
+    """One serving regime, as inert data.
+
+    Attributes:
+        name: regime label (report key).
+        spec: the open-loop request stream.
+        warmup: seconds of traffic before measurement starts (cache
+            fill; excluded from every reported number).
+        duration: measured seconds.
+        concurrency: parallel service slots.
+        max_pending: in-flight bound (arrivals beyond it are shed).
+        deadline: per-request sojourn deadline, seconds.
+        service_time: in-slot cost paid by every request (hit or miss).
+        miss_latency: backend service time awaited per loader call.
+        spike_latency / spike_rate: extra seeded latency spikes.
+        failure_rate / burst: seeded loader failures (brown-outs).
+        capacity_entries / num_shards / components: engine geometry.
+        ttl: entry TTL, seconds (None = no expiry; the degraded regime
+            needs one so stale serving is reachable).
+        retry_attempts / retry_backoff / retry_budget_tokens: the
+            retry schedule and the shared retry-token pool.
+        breaker_threshold / breaker_timeout: per-shard breaker tuning.
+        quarantine_shards / quarantine_at / rebuild_at: the chaos
+            schedule — shards taken out of service at ``quarantine_at``
+            (virtual seconds from stream start) and rebuilt empty at
+            ``rebuild_at``.
+        seed: master seed (stream and loader fork from it).
+    """
+
+    name: str
+    spec: StreamSpec
+    warmup: float = 1.0
+    duration: float = 3.0
+    concurrency: int = 8
+    max_pending: Optional[int] = 256
+    deadline: Optional[float] = 0.1
+    service_time: float = 0.001
+    miss_latency: float = 0.005
+    spike_latency: float = 0.0
+    spike_rate: float = 0.0
+    failure_rate: float = 0.0
+    burst: int = 0
+    capacity_entries: int = 256
+    num_shards: int = 8
+    components: Tuple[str, ...] = ("lru", "lfu")
+    ttl: Optional[float] = None
+    retry_attempts: int = 3
+    retry_backoff: float = 0.005
+    retry_budget_tokens: Optional[int] = 32
+    breaker_threshold: int = 5
+    breaker_timeout: float = 0.5
+    quarantine_shards: Tuple[int, ...] = ()
+    quarantine_at: Optional[float] = None
+    rebuild_at: Optional[float] = None
+    seed: int = 0
+
+
+@dataclass
+class RegimeReport:
+    """What one regime measured (virtual time; fully deterministic)."""
+
+    name: str
+    requests: int = 0
+    offered_rps: float = 0.0
+    completed: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    unavailable: int = 0
+    wrong_values: int = 0
+    stale_serves: int = 0
+    goodput_rps: float = 0.0
+    shed_rate: float = 0.0
+    timeout_rate: float = 0.0
+    stale_fraction: float = 0.0
+    mean_ms: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    p999_ms: float = 0.0
+    exact_p50_ms: float = 0.0
+    exact_p99_ms: float = 0.0
+    exact_p999_ms: float = 0.0
+    breaker_trips: int = 0
+    retries_denied: int = 0
+    hit_ratio: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-stable dict (floats rounded deterministically)."""
+        out = {}
+        for key, value in vars(self).items():
+            out[key] = round(value, 6) if isinstance(value, float) else value
+        return out
+
+
+@dataclass
+class _Accumulator:
+    """Measured-phase tallies collected by the driver (internal)."""
+
+    arrivals: int = 0
+    ok: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    unavailable: int = 0
+    wrong: int = 0
+    sketch: LatencySketch = field(
+        default_factory=lambda: LatencySketch(relative_error=0.01)
+    )
+    latencies: List[float] = field(default_factory=list)
+    boundary: Optional[object] = None
+
+
+def default_plans(quick: bool = False, seed: int = 0) -> List[RegimePlan]:
+    """The three standard regimes, at bench (full) or CI (quick) scale.
+
+    Capacity with the default knobs is roughly
+    ``concurrency / (service_time + miss_ratio * miss_latency)`` ~= a
+    few thousand requests/second; steady offers well under half of it,
+    overload several times it.
+    """
+    warmup = 1.0 if quick else 2.0
+    duration = 1.5 if quick else 5.0
+    steady = RegimePlan(
+        name="steady",
+        spec=StreamSpec(rate=1500.0, universe=512, alpha=1.0, mix="B",
+                        clients=16, seed=seed),
+        warmup=warmup,
+        duration=duration,
+        concurrency=8,
+        max_pending=256,
+        deadline=0.1,
+        spike_latency=0.04,
+        spike_rate=0.02,
+        seed=seed,
+    )
+    overload = RegimePlan(
+        name="overload",
+        spec=StreamSpec(rate=2500.0, universe=512, alpha=1.0, mix="C",
+                        clients=16, process="mmpp", burst_rate=8000.0,
+                        mean_dwell=1.0, burst_dwell=0.5, seed=seed + 1),
+        warmup=warmup,
+        duration=duration,
+        concurrency=4,
+        max_pending=64,
+        deadline=0.05,
+        spike_latency=0.05,
+        spike_rate=0.05,
+        seed=seed + 1,
+    )
+    chaos_at = warmup + 0.2 * duration
+    rebuild_at = warmup + 0.7 * duration
+    degraded = RegimePlan(
+        name="degraded",
+        spec=StreamSpec(rate=1500.0, universe=512, alpha=1.0, mix="B",
+                        clients=16, seed=seed + 2),
+        warmup=warmup,
+        duration=duration,
+        concurrency=8,
+        max_pending=256,
+        deadline=0.1,
+        failure_rate=0.15,
+        burst=6,
+        ttl=1.0,
+        retry_budget_tokens=4,
+        breaker_threshold=5,
+        breaker_timeout=0.25,
+        quarantine_shards=(1, 5),
+        quarantine_at=chaos_at,
+        rebuild_at=rebuild_at,
+        seed=seed + 2,
+    )
+    return [steady, overload, degraded]
+
+
+def build_stack(plan: RegimePlan, clock) -> Tuple[
+        AsyncServingFront, AsyncFlakyLoader, Optional[RetryBudget]]:
+    """The serving stack (front, loader, budget) for one plan."""
+    engine = AdaptiveKVCache(
+        capacity_entries=plan.capacity_entries,
+        num_shards=plan.num_shards,
+        components=plan.components,
+        default_ttl=plan.ttl,
+        seed=plan.seed,
+        clock=clock,
+    )
+    resilient = ResilientKVCache(
+        engine,
+        retry=RetryPolicy(
+            attempts=plan.retry_attempts,
+            backoff=plan.retry_backoff,
+            budget=plan.deadline,
+        ),
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=plan.breaker_threshold,
+            recovery_timeout=plan.breaker_timeout,
+            clock=clock,
+        ),
+        clock=clock,
+    )
+    loader = AsyncFlakyLoader(
+        backend_value,
+        base_latency=plan.miss_latency,
+        failure_rate=plan.failure_rate,
+        burst=plan.burst,
+        latency=plan.spike_latency,
+        latency_rate=plan.spike_rate,
+        seed=plan.seed + 13,
+    )
+    budget = (
+        RetryBudget(plan.retry_budget_tokens)
+        if plan.retry_budget_tokens is not None else None
+    )
+    front = AsyncServingFront(
+        resilient,
+        concurrency=plan.concurrency,
+        max_pending=plan.max_pending,
+        deadline=plan.deadline,
+        retry_budget=budget,
+        service_time=plan.service_time,
+    )
+    return front, loader, budget
+
+
+async def _chaos_schedule(resilient: ResilientKVCache,
+                          plan: RegimePlan) -> None:
+    """Quarantine the plan's shards, then rebuild them empty."""
+    await asyncio.sleep(plan.quarantine_at)
+    for shard in plan.quarantine_shards:
+        resilient.quarantine(shard)
+    if plan.rebuild_at is not None:
+        await asyncio.sleep(plan.rebuild_at - plan.quarantine_at)
+        for shard in plan.quarantine_shards:
+            resilient.rebuild(shard)
+
+
+async def _one_request(front: AsyncServingFront, loader, request,
+                       measured: bool, acc: _Accumulator, loop) -> None:
+    """Serve one arrival; classify and (if measured) record it."""
+    arrived = loop.time()
+    outcome = "ok"
+    value = None
+    try:
+        if request.op == "read":
+            value = await front.handle(request.key, loader)
+        else:
+            await front.write(request.key, backend_value(request.key))
+    except RequestShed:
+        outcome = "shed"
+    except RequestTimeout:
+        outcome = "timeout"
+    except LoaderUnavailable:
+        outcome = "unavailable"
+    if not measured:
+        return
+    latency = loop.time() - arrived
+    if outcome == "ok":
+        acc.ok += 1
+        if request.op == "read" and value != backend_value(request.key):
+            acc.wrong += 1
+    elif outcome == "shed":
+        acc.shed += 1
+        return  # refused instantly; no latency to record
+    elif outcome == "timeout":
+        acc.timeouts += 1
+    else:
+        acc.unavailable += 1
+    acc.sketch.add(latency)
+    acc.latencies.append(latency)
+
+
+async def _drive(plan: RegimePlan, front: AsyncServingFront,
+                 loader) -> _Accumulator:
+    """Replay the plan's stream open-loop; return the measured tallies."""
+    loop = asyncio.get_running_loop()
+    acc = _Accumulator()
+    start = loop.time()
+    horizon = plan.warmup + plan.duration
+    chaos = None
+    if plan.quarantine_at is not None:
+        chaos = loop.create_task(_chaos_schedule(front.resilient, plan))
+    tasks = []
+    for request in plan.spec.requests():
+        if request.at >= horizon:
+            break
+        delay = (start + request.at) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        measured = request.at >= plan.warmup
+        if measured:
+            if acc.boundary is None:
+                acc.boundary = front.resilient.stats()
+            acc.arrivals += 1
+        tasks.append(loop.create_task(
+            _one_request(front, loader, request, measured, acc, loop)
+        ))
+    if tasks:
+        await asyncio.gather(*tasks)
+    if chaos is not None:
+        await chaos
+    return acc
+
+
+def run_regime(plan: RegimePlan) -> RegimeReport:
+    """Run one regime on a fresh virtual-time loop; return its report."""
+    loop = VirtualTimeEventLoop()
+    front, loader, budget = build_stack(plan, loop.time)
+
+    async def main():
+        return await _drive(plan, front, loader)
+
+    acc = loop.run_until_complete(main())
+    loop.close()
+
+    report = RegimeReport(name=plan.name)
+    report.requests = acc.arrivals
+    report.offered_rps = acc.arrivals / plan.duration
+    report.completed = acc.ok
+    report.shed = acc.shed
+    report.timeouts = acc.timeouts
+    report.unavailable = acc.unavailable
+    report.wrong_values = acc.wrong
+    report.goodput_rps = acc.ok / plan.duration
+    if acc.arrivals:
+        report.shed_rate = acc.shed / acc.arrivals
+        report.timeout_rate = acc.timeouts / acc.arrivals
+    stats = front.resilient.stats()
+    before = acc.boundary
+    stale_before = before.stale_hits if before is not None else 0
+    report.stale_serves = stats.stale_hits - stale_before
+    if acc.ok:
+        report.stale_fraction = report.stale_serves / acc.ok
+    if stats.gets:
+        report.hit_ratio = stats.hits / stats.gets
+    if acc.sketch.count:
+        report.mean_ms = acc.sketch.mean * 1000.0
+        p50, p99, p999 = acc.sketch.quantiles(QUANTILES)
+        report.p50_ms = p50 * 1000.0
+        report.p99_ms = p99 * 1000.0
+        report.p999_ms = p999 * 1000.0
+        report.exact_p50_ms = exact_quantile(acc.latencies, 0.5) * 1000.0
+        report.exact_p99_ms = exact_quantile(acc.latencies, 0.99) * 1000.0
+        report.exact_p999_ms = (
+            exact_quantile(acc.latencies, 0.999) * 1000.0
+        )
+    report.breaker_trips = sum(
+        b.trips for b in front.resilient.breakers
+    )
+    report.retries_denied = budget.denied if budget is not None else 0
+    return report
+
+
+@dataclass
+class ServeReport:
+    """All regimes of one harness run, plus provenance."""
+
+    seed: int
+    quick: bool
+    regimes: Dict[str, RegimeReport]
+
+    def to_dict(self) -> dict:
+        """The full report as a JSON-ready dict (schema-versioned)."""
+        return {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "quick": self.quick,
+            "regimes": {
+                name: report.to_dict()
+                for name, report in self.regimes.items()
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys — byte-identical per seed)."""
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        """Human-readable regime table."""
+        from repro.analysis.tables import render_table
+
+        rows = []
+        for report in self.regimes.values():
+            rows.append([
+                report.name,
+                report.offered_rps,
+                report.goodput_rps,
+                report.p50_ms,
+                report.p99_ms,
+                report.p999_ms,
+                100.0 * report.shed_rate,
+                100.0 * report.timeout_rate,
+                100.0 * report.stale_fraction,
+                report.wrong_values,
+            ])
+        return render_table(
+            ["regime", "offered rps", "goodput rps", "p50 ms", "p99 ms",
+             "p999 ms", "shed %", "timeout %", "stale %", "wrong"],
+            rows,
+            float_digits=2,
+            title="open-loop serving SLOs (virtual time, deterministic)",
+        )
+
+
+def run_serve(quick: bool = False, seed: int = 0) -> ServeReport:
+    """Run all three regimes; the engine behind ``repro-experiments
+    serve`` and ``BENCH_serve.json``."""
+    regimes = {}
+    for plan in default_plans(quick=quick, seed=seed):
+        regimes[plan.name] = run_regime(plan)
+    return ServeReport(seed=seed, quick=quick, regimes=regimes)
+
+
+def check_floors(report: dict, floors: dict) -> List[str]:
+    """SLO floors for a :meth:`ServeReport.to_dict` report.
+
+    ``floors`` is the ``"serve"`` section of
+    ``benchmarks/baselines.json``: per-regime bounds named
+    ``min_<metric>`` / ``max_<metric>``, plus the derived
+    ``min_goodput_fraction`` (goodput over offered). Returns the list
+    of violations (empty = gate passes).
+    """
+    problems = []
+    for regime, bounds in floors.items():
+        if regime.startswith("_"):
+            continue
+        cell = report.get("regimes", {}).get(regime)
+        if cell is None:
+            problems.append(f"{regime}: missing from report")
+            continue
+        for bound, limit in bounds.items():
+            if bound.startswith("_"):
+                continue
+            if bound == "min_goodput_fraction":
+                offered = cell.get("offered_rps", 0.0)
+                actual = (
+                    cell.get("goodput_rps", 0.0) / offered if offered else 0.0
+                )
+                metric = "goodput_fraction"
+                low = True
+            elif bound.startswith("min_"):
+                metric = bound[4:]
+                actual = cell.get(metric, 0.0)
+                low = True
+            elif bound.startswith("max_"):
+                metric = bound[4:]
+                actual = cell.get(metric, 0.0)
+                low = False
+            else:
+                problems.append(f"{regime}: unknown bound {bound!r}")
+                continue
+            if low and actual < limit:
+                problems.append(
+                    f"{regime}: {metric} {actual:.4f} below floor {limit}"
+                )
+            elif not low and actual > limit:
+                problems.append(
+                    f"{regime}: {metric} {actual:.4f} above ceiling {limit}"
+                )
+    return problems

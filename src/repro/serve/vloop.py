@@ -1,0 +1,194 @@
+"""A deterministic virtual-time asyncio event loop.
+
+Open-loop serving experiments need two things a wall-clock loop cannot
+give: *determinism* (a fixed seed must reproduce byte-identical latency
+reports, on any machine, under any CI load) and *speed* (minutes of
+simulated traffic should replay in milliseconds).
+:class:`VirtualTimeEventLoop` provides both: it is a real asyncio event
+loop — tasks, futures, ``asyncio.sleep``, ``wait_for``, semaphores and
+cancellation all behave normally — except that ``loop.time()`` is a
+virtual clock that jumps instantly to the next scheduled callback
+whenever no work is ready. Nothing ever blocks on the operating system;
+a simulated second costs only the callbacks scheduled within it.
+
+The loop is single-threaded and offers no I/O (no sockets, no
+executors, no signal handling) — it exists to schedule coroutines
+against simulated time, which is exactly what the serving harness
+does. Because callback execution order is a pure function of the
+program (FIFO ready queue, stable timer heap), every run of a seeded
+simulation is bit-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from collections import deque
+
+
+class VirtualTimeEventLoop(asyncio.AbstractEventLoop):
+    """An asyncio event loop on simulated time.
+
+    Use :meth:`run_until_complete` as the single entry point::
+
+        loop = VirtualTimeEventLoop()
+        result = loop.run_until_complete(main())
+
+    Inside ``main``, ``asyncio.get_running_loop()`` returns this loop,
+    ``loop.time()`` starts at 0.0, and every ``await asyncio.sleep(d)``
+    advances virtual time by exactly ``d`` (interleaved with any other
+    scheduled work) without real elapsed time.
+    """
+
+    def __init__(self):
+        self._time = 0.0
+        self._ready = deque()
+        self._scheduled = []
+        self._sequence = 0
+        self._running = False
+        self._closed = False
+        #: Exception-handler contexts captured from tasks whose
+        #: exceptions were never retrieved (inspectable by tests).
+        self.unhandled = []
+
+    # ------------------------------------------------------------------
+    # Time and scheduling
+    # ------------------------------------------------------------------
+
+    def time(self) -> float:
+        """Current virtual time, seconds (starts at 0.0)."""
+        return self._time
+
+    def call_soon(self, callback, *args, context=None):
+        """Schedule ``callback`` on the next loop pass (FIFO)."""
+        self._check_closed()
+        handle = asyncio.Handle(callback, args, self, context)
+        self._ready.append(handle)
+        return handle
+
+    # The loop is strictly single-threaded; thread-safe scheduling
+    # degenerates to plain scheduling.
+    call_soon_threadsafe = call_soon
+
+    def call_later(self, delay, callback, *args, context=None):
+        """Schedule ``callback`` after ``delay`` virtual seconds."""
+        return self.call_at(
+            self._time + max(0.0, delay), callback, *args, context=context
+        )
+
+    def call_at(self, when, callback, *args, context=None):
+        """Schedule ``callback`` at absolute virtual time ``when``.
+
+        Ties are broken by scheduling order (a stable heap), so runs
+        are reproducible.
+        """
+        self._check_closed()
+        timer = asyncio.TimerHandle(when, callback, args, self, context)
+        self._sequence += 1
+        heapq.heappush(self._scheduled, (when, self._sequence, timer))
+        timer._scheduled = True
+        return timer
+
+    def _timer_handle_cancelled(self, handle) -> None:
+        """Cancelled timers are skipped lazily when popped."""
+
+    # ------------------------------------------------------------------
+    # Futures and tasks
+    # ------------------------------------------------------------------
+
+    def create_future(self) -> asyncio.Future:
+        """A future bound to this loop."""
+        return asyncio.Future(loop=self)
+
+    def create_task(self, coro, *, name=None, context=None):
+        """A task bound to this loop, scheduled on the next pass."""
+        self._check_closed()
+        if context is not None:
+            return asyncio.Task(coro, loop=self, name=name, context=context)
+        return asyncio.Task(coro, loop=self, name=name)
+
+    # ------------------------------------------------------------------
+    # Introspection required by asyncio internals
+    # ------------------------------------------------------------------
+
+    def get_debug(self) -> bool:
+        """Debug mode is always off: virtual time has no slow callbacks."""
+        return False
+
+    def is_running(self) -> bool:
+        return self._running
+
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the loop; further scheduling raises."""
+        if self._running:
+            raise RuntimeError("cannot close a running virtual loop")
+        self._closed = True
+
+    def call_exception_handler(self, context) -> None:
+        """Record (never print) unretrieved task exceptions."""
+        self.unhandled.append(context)
+
+    def default_exception_handler(self, context) -> None:
+        """Same as :meth:`call_exception_handler`: record, never print."""
+        self.unhandled.append(context)
+
+    def _check_closed(self) -> None:
+        if self._closed:
+            raise RuntimeError("virtual loop is closed")
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run_until_complete(self, future):
+        """Drive the loop until ``future`` resolves; return its result.
+
+        Raises:
+            RuntimeError: re-entered while running, used after close,
+                or *starved* — the future is pending but nothing is
+                scheduled, i.e. the program deadlocked on an event no
+                one will ever set (with real time this would hang; with
+                virtual time it is detectable and reported).
+        """
+        self._check_closed()
+        if self._running:
+            raise RuntimeError("virtual loop is already running")
+        future = asyncio.ensure_future(future, loop=self)
+        self._running = True
+        asyncio.events._set_running_loop(self)
+        try:
+            while not future.done():
+                if not self._ready and not self._scheduled:
+                    raise RuntimeError(
+                        "virtual loop starved: the awaited future is "
+                        "pending but no callback or timer is scheduled"
+                    )
+                self._run_once()
+        finally:
+            self._running = False
+            asyncio.events._set_running_loop(None)
+        return future.result()
+
+    def _run_once(self) -> None:
+        """One pass: jump time forward if idle, then drain the ready set.
+
+        Only the callbacks ready at entry run in a pass; anything they
+        schedule with ``call_soon`` runs in the next pass, matching the
+        standard loop's fairness (a self-rescheduling task cannot
+        starve timers).
+        """
+        while self._scheduled and self._scheduled[0][2]._cancelled:
+            heapq.heappop(self._scheduled)
+        if not self._ready and self._scheduled:
+            self._time = max(self._time, self._scheduled[0][0])
+        while self._scheduled and self._scheduled[0][0] <= self._time:
+            _when, _seq, timer = heapq.heappop(self._scheduled)
+            if not timer._cancelled:
+                self._ready.append(timer)
+        for _ in range(len(self._ready)):
+            handle = self._ready.popleft()
+            if not handle._cancelled:
+                handle._run()

@@ -9,6 +9,7 @@ the experiment harness rely on this reproducibility.
 
 from __future__ import annotations
 
+import math
 import random
 
 
@@ -42,6 +43,32 @@ class DeterministicRNG:
     def random(self) -> float:
         """Uniform float in [0, 1)."""
         return self._random.random()
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential deviate with the given rate (mean ``1/rate``).
+
+        The inter-arrival primitive of the open-loop load generators:
+        computed by explicit inversion of ``random()`` rather than
+        delegated to :meth:`random.Random.expovariate`, so the draw
+        consumes exactly one uniform and the stream stays stable across
+        Python versions.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        return -math.log(1.0 - self._random.random()) / rate
+
+    def betavariate(self, alpha: float, beta: float) -> float:
+        """Beta(alpha, beta) deviate in [0, 1].
+
+        Used for per-client rate skew in the open-loop load generators
+        (icarus's beta-mixture client model).
+        """
+        if alpha <= 0 or beta <= 0:
+            raise ValueError(
+                f"beta shape parameters must be positive, got "
+                f"({alpha}, {beta})"
+            )
+        return self._random.betavariate(alpha, beta)
 
     def fork(self, salt: int) -> "DeterministicRNG":
         """Derive an independent child stream.

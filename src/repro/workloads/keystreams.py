@@ -16,8 +16,12 @@ colliding: distinct prefixes are distinct key universes.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import bisect
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
 
+from repro.utils.rng import DeterministicRNG
 from repro.workloads.synth import (
     linear_loop,
     scan_with_hot,
@@ -112,6 +116,335 @@ def phase_change_keys(
                 loop_keys(loop_footprint, want, prefix=f"{prefix}-loop")
             )
     return stream
+
+
+# ----------------------------------------------------------------------
+# Open-loop load generation (the serving harness's event layer)
+# ----------------------------------------------------------------------
+#
+# A closed-loop replay issues the next key as soon as the previous one
+# answers; production serving is *open-loop* — requests arrive on their
+# own schedule whether or not the server keeps up. The generators below
+# produce timestamped request events for :mod:`repro.serve`: Poisson or
+# bursty MMPP arrivals, Zipf popularity, YCSB-style A-D op mixes,
+# per-client rate skew via a beta mixture (icarus's
+# ``StationaryPacketLevelWorkload`` client model), and a trace-driven
+# mode that replays a saved simulator trace on a Poisson clock.
+#
+# Everything is deterministic: a stream is a pure function of its spec
+# and seed, regenerated from fresh forked RNGs on every iteration, so
+# the same spec yields bit-identical events no matter how (or how many
+# times, or in what chunking) it is consumed.
+
+
+class Request(NamedTuple):
+    """One open-loop request event.
+
+    Attributes:
+        at: arrival time in seconds from stream start (monotonically
+            non-decreasing within a stream).
+        key: the cache key addressed.
+        op: ``"read"``, ``"update"`` or ``"insert"`` (YCSB verbs).
+        client: issuing client id in ``[0, clients)``.
+    """
+
+    at: float
+    key: str
+    op: str
+    client: int
+
+
+#: YCSB core workload op mixes (read/update/insert fractions). D's
+#: inserts grow the key universe and its reads skew toward the newest
+#: keys ("read latest").
+YCSB_MIXES = {
+    "A": (("read", 0.5), ("update", 0.5)),
+    "B": (("read", 0.95), ("update", 0.05)),
+    "C": (("read", 1.0),),
+    "D": (("read", 0.95), ("insert", 0.05)),
+}
+
+
+def poisson_arrivals(rate: float, seed: int = 0,
+                     start: float = 0.0) -> Iterator[float]:
+    """Unbounded Poisson arrival times at ``rate`` per second.
+
+    Inter-arrivals are i.i.d. exponential with mean ``1/rate`` — the
+    open-loop arrival model where the offered load is independent of
+    how fast the server drains it.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    rng = DeterministicRNG(seed).fork(11)
+    now = start
+    while True:
+        now += rng.expovariate(rate)
+        yield now
+
+
+def mmpp_arrivals(
+    rate: float,
+    burst_rate: float,
+    seed: int = 0,
+    mean_dwell: float = 2.0,
+    burst_dwell: float = 0.5,
+    start: float = 0.0,
+) -> Iterator[float]:
+    """Two-state Markov-modulated Poisson arrivals (bursty traffic).
+
+    The process alternates a *base* state (Poisson at ``rate``, mean
+    dwell ``mean_dwell`` seconds) with a *burst* state (Poisson at
+    ``burst_rate``, mean dwell ``burst_dwell``); dwell times are
+    exponential. An arrival that would land past the current state's
+    end is discarded and redrawn in the next state — the standard
+    state-switch construction, kept deterministic by drawing every
+    quantity from one forked stream.
+    """
+    if rate <= 0 or burst_rate <= 0:
+        raise ValueError(
+            f"rates must be positive, got {rate} and {burst_rate}"
+        )
+    if mean_dwell <= 0 or burst_dwell <= 0:
+        raise ValueError(
+            f"dwell times must be positive, got {mean_dwell} and "
+            f"{burst_dwell}"
+        )
+    rng = DeterministicRNG(seed).fork(13)
+    now = start
+    bursting = False
+    switch_at = start + rng.expovariate(1.0 / mean_dwell)
+    while True:
+        gap = rng.expovariate(burst_rate if bursting else rate)
+        while now + gap >= switch_at:
+            now = switch_at
+            bursting = not bursting
+            dwell = burst_dwell if bursting else mean_dwell
+            switch_at = now + rng.expovariate(1.0 / dwell)
+            gap = rng.expovariate(burst_rate if bursting else rate)
+        now += gap
+        yield now
+
+
+class ZipfSampler:
+    """Zipf(alpha) rank sampling by inversion over cumulative weights.
+
+    Rank 0 is the most popular item. Sampling consumes exactly one
+    uniform per draw, so streams sharing an RNG stay aligned.
+    """
+
+    def __init__(self, universe: int, alpha: float):
+        if universe <= 0:
+            raise ValueError(f"universe must be positive, got {universe}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.universe = universe
+        self.alpha = alpha
+        total = 0.0
+        cumulative = []
+        for rank in range(1, universe + 1):
+            total += rank ** -alpha
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self, rng: DeterministicRNG) -> int:
+        """One rank in ``[0, universe)``."""
+        return bisect.bisect_left(
+            self._cumulative, rng.random() * self._total
+        )
+
+
+def beta_client_weights(
+    clients: int, alpha: float, beta: float, seed: int
+) -> List[float]:
+    """Per-client request-share weights from a Beta(alpha, beta) draw.
+
+    Models heterogeneous client demand (a few heavy clients, a long
+    tail of light ones); weights are normalized to sum to 1. A draw of
+    exactly zero is nudged to a tiny floor so no client is silently
+    dropped from the mixture.
+    """
+    if clients <= 0:
+        raise ValueError(f"clients must be positive, got {clients}")
+    rng = DeterministicRNG(seed).fork(17)
+    weights = [max(rng.betavariate(alpha, beta), 1e-9)
+               for _ in range(clients)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Deterministic open-loop request-stream specification.
+
+    A spec is inert data; :meth:`requests` builds a fresh event
+    iterator from it. Two iterations of the same spec are bit-identical
+    (fresh forked RNGs each time), and chunked consumption cannot
+    perturb the stream.
+
+    Attributes:
+        rate: mean arrival rate, requests/second.
+        universe: initial key-universe size (Zipf-ranked).
+        alpha: Zipf skew exponent (0 = uniform).
+        mix: YCSB mix letter (``"A"``-``"D"``).
+        clients: number of issuing clients.
+        client_beta: Beta(a, b) shape of the per-client rate skew.
+        process: ``"poisson"`` or ``"mmpp"``.
+        burst_rate: MMPP burst-state rate (default ``4 * rate``).
+        mean_dwell: MMPP base-state mean dwell, seconds.
+        burst_dwell: MMPP burst-state mean dwell, seconds.
+        seed: master seed; every sub-stream forks from it.
+        prefix: key namespace prefix.
+    """
+
+    rate: float = 100.0
+    universe: int = 512
+    alpha: float = 1.0
+    mix: str = "C"
+    clients: int = 8
+    client_beta: Tuple[float, float] = (2.0, 5.0)
+    process: str = "poisson"
+    burst_rate: Optional[float] = None
+    mean_dwell: float = 2.0
+    burst_dwell: float = 0.5
+    seed: int = 0
+    prefix: str = "r"
+
+    def __post_init__(self):
+        if self.mix not in YCSB_MIXES:
+            raise ValueError(
+                f"unknown YCSB mix {self.mix!r}; use one of "
+                f"{sorted(YCSB_MIXES)}"
+            )
+        if self.process not in ("poisson", "mmpp"):
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; use "
+                "'poisson' or 'mmpp'"
+            )
+
+    def arrivals(self) -> Iterator[float]:
+        """The spec's arrival-time stream (fresh iterator each call)."""
+        if self.process == "mmpp":
+            return mmpp_arrivals(
+                self.rate,
+                self.burst_rate if self.burst_rate else 4.0 * self.rate,
+                seed=self.seed,
+                mean_dwell=self.mean_dwell,
+                burst_dwell=self.burst_dwell,
+            )
+        return poisson_arrivals(self.rate, seed=self.seed)
+
+    def requests(self) -> Iterator[Request]:
+        """The spec's request events, lazily and deterministically.
+
+        Arrival times, popularity ranks, op choices and client
+        assignment each draw from an independently forked RNG, so the
+        marginal statistics of one dimension are unaffected by the
+        others (and testable in isolation).
+        """
+        sampler = ZipfSampler(self.universe, self.alpha)
+        op_rng = DeterministicRNG(self.seed).fork(19)
+        pop_rng = DeterministicRNG(self.seed).fork(23)
+        client_rng = DeterministicRNG(self.seed).fork(29)
+        weights = beta_client_weights(
+            self.clients, self.client_beta[0], self.client_beta[1],
+            self.seed,
+        )
+        client_cumulative = []
+        total = 0.0
+        for weight in weights:
+            total += weight
+            client_cumulative.append(total)
+        mix = YCSB_MIXES[self.mix]
+        inserted = 0
+        for at in self.arrivals():
+            draw = op_rng.random()
+            op = mix[-1][0]
+            acc = 0.0
+            for name, fraction in mix:
+                acc += fraction
+                if draw < acc:
+                    op = name
+                    break
+            client = bisect.bisect_left(
+                client_cumulative, client_rng.random() * total
+            )
+            client = min(client, self.clients - 1)
+            if op == "insert":
+                key = f"{self.prefix}:new:{inserted}"
+                inserted += 1
+            else:
+                rank = sampler.sample(pop_rng)
+                if self.mix == "D":
+                    # Read-latest: rank 0 is the *newest* key. Inserts
+                    # prepend to the recency order; the initial universe
+                    # forms its tail.
+                    index = (self.universe + inserted) - 1 - min(
+                        rank, self.universe + inserted - 1
+                    )
+                    key = (
+                        f"{self.prefix}:new:{index - self.universe}"
+                        if index >= self.universe
+                        else f"{self.prefix}:{index}"
+                    )
+                else:
+                    key = f"{self.prefix}:{rank}"
+            yield Request(at, key, op, client)
+
+    def take(self, count: int) -> List[Request]:
+        """The first ``count`` events, materialized (testing helper)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        out = []
+        for request in self.requests():
+            if len(out) >= count:
+                break
+            out.append(request)
+        return out
+
+
+@dataclass(frozen=True)
+class TraceStreamSpec:
+    """Trace-driven open-loop stream: saved trace keys on a Poisson clock.
+
+    Reuses the simulator's trace serialization
+    (:mod:`repro.workloads.io`): ``source`` may be a
+    :class:`~repro.workloads.trace.Trace` or a path to a saved ``.npz``
+    trace, whose block addresses become read keys in file order while
+    arrival times come from a Poisson process — the open-loop analogue
+    of :func:`keys_from_trace`.
+    """
+
+    source: Union[str, os.PathLike, Trace] = ""
+    rate: float = 100.0
+    line_bytes: int = 64
+    seed: int = 0
+    prefix: str = "blk"
+    # Cached key list (a Trace is immutable; loading is the slow part).
+    _keys: Optional[Tuple[str, ...]] = field(default=None, repr=False,
+                                             compare=False)
+
+    def keys(self) -> Tuple[str, ...]:
+        """The trace's key sequence (loaded once per spec call)."""
+        if self._keys is not None:
+            return self._keys
+        trace = self.source
+        if not isinstance(trace, Trace):
+            from repro.workloads.io import load_trace
+
+            trace = load_trace(trace)
+        keys = tuple(
+            keys_from_trace(trace, self.line_bytes, prefix=self.prefix)
+        )
+        object.__setattr__(self, "_keys", keys)
+        return keys
+
+    def requests(self) -> Iterator[Request]:
+        """The trace replayed as timestamped read requests."""
+        keys = self.keys()
+        for key, at in zip(keys, poisson_arrivals(self.rate,
+                                                  seed=self.seed)):
+            yield Request(at, key, "read", 0)
 
 
 def keys_from_trace(

@@ -15,7 +15,7 @@ class TestCli:
             "sec44", "sec46", "sec47", "storage", "theory",
             "ablations", "ext-shared", "ext-prefetch", "ext-dip", "ext-skew",
             "ext-validate", "ext-faults", "ext-online", "ext-cluster",
-            "ext-tiers", "seeds",
+            "ext-tiers", "ext-serve", "seeds",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,77 @@
+"""Tests for the ext-serve experiment and the ``serve`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.experiments import ext_serve
+from repro.experiments.base import make_setup
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+from repro.serve.harness import run_serve
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_serve.run(quick=True, seed=0)
+
+
+class TestRun:
+    def test_table_shape(self, result):
+        assert result.experiment == "ext-serve"
+        assert len(result.rows) == 3
+        regimes = [row[0] for row in result.rows]
+        assert regimes == ["steady", "overload", "degraded"]
+        for row in result.rows:
+            offered, goodput = row[1], row[2]
+            assert 0 < goodput <= offered
+
+    def test_notes_tell_the_slo_story(self, result):
+        text = " ".join(result.notes)
+        assert "shed" in text
+        assert "stale" in text
+        assert "sketch" in text.lower()
+        assert "byte-identical" in text or "seed" in text
+
+    def test_mini_setup_maps_to_quick(self):
+        # Same seed + quick flag must match the mini-setup run exactly:
+        # the harness is deterministic, so the tables are equal.
+        via_setup = ext_serve.run(setup=make_setup("mini"), seed=0)
+        via_flag = ext_serve.run(quick=True, seed=0)
+        assert via_setup.rows == via_flag.rows
+
+    def test_to_result_keeps_wrong_value_column(self, result):
+        wrong_column = result.headers.index("wrong")
+        assert all(row[wrong_column] == 0 for row in result.rows)
+
+
+class TestCli:
+    def test_ext_serve_registered(self):
+        assert "ext-serve" in EXPERIMENTS
+        assert EXPERIMENTS["ext-serve"] is ext_serve
+
+    def test_parser_accepts_serve_verbs(self):
+        parser = build_parser()
+        assert parser.parse_args(["ext-serve"]).experiment == "ext-serve"
+        args = parser.parse_args(["serve", "--serve-out", "x.json"])
+        assert args.experiment == "serve"
+        assert args.serve_out == "x.json"
+
+    def test_serve_verb_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "bench.json"
+        code = main(["serve", "--quick", "--seed", "2",
+                     "--serve-out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        for name in ("steady", "overload", "degraded"):
+            assert name in printed
+        payload = json.loads(out.read_text())
+        assert payload["seed"] == 2
+        assert payload["quick"] is True
+        # The file is the canonical serialization of the same run.
+        assert out.read_text() == run_serve(quick=True, seed=2).to_json()
+
+    def test_ext_serve_verb_renders_table(self, capsys):
+        assert main(["ext-serve", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ext-serve" in out
+        assert "degraded" in out

@@ -202,3 +202,64 @@ class TestKillAndRecoverSmoke:
         )
         assert result.returncode == 1
         assert "no persisted state" in result.stderr
+
+
+class TestAsyncFlakyLoader:
+    def test_async_decisions_match_sync_stream(self):
+        # The async wrapper reuses the seeded _decide stream, so a
+        # chaos plan drives the async ladder exactly as the sync one.
+        from repro.faults.online import AsyncFlakyLoader
+        from repro.serve.vloop import VirtualTimeEventLoop
+
+        def outcomes_sync():
+            loader = FlakyLoader(lambda k: k, failure_rate=0.3, burst=2,
+                                 seed=9)
+            pattern = []
+            for key in range(60):
+                try:
+                    loader(key)
+                    pattern.append(True)
+                except IOError:
+                    pattern.append(False)
+            return pattern
+
+        def outcomes_async():
+            loader = AsyncFlakyLoader(lambda k: k, failure_rate=0.3,
+                                      burst=2, seed=9)
+            loop = VirtualTimeEventLoop()
+
+            async def drive():
+                pattern = []
+                for key in range(60):
+                    try:
+                        await loader(key)
+                        pattern.append(True)
+                    except IOError:
+                        pattern.append(False)
+                return pattern
+
+            return loop.run_until_complete(drive())
+
+        assert outcomes_async() == outcomes_sync()
+
+    def test_base_latency_is_awaited_virtual_time(self):
+        from repro.faults.online import AsyncFlakyLoader
+        from repro.serve.vloop import VirtualTimeEventLoop
+
+        loader = AsyncFlakyLoader(lambda k: ("v", k), base_latency=0.25,
+                                  failure_rate=0.0, seed=0)
+        loop = VirtualTimeEventLoop()
+
+        async def drive():
+            value = await loader("x")
+            return value, loop.time()
+
+        value, elapsed = loop.run_until_complete(drive())
+        assert value == ("v", "x")
+        assert elapsed == 0.25
+
+    def test_rejects_negative_base_latency(self):
+        from repro.faults.online import AsyncFlakyLoader
+
+        with pytest.raises(ValueError, match="base_latency"):
+            AsyncFlakyLoader(lambda k: k, base_latency=-0.1)

@@ -20,6 +20,7 @@ class TestDocsExist:
             "performance.md",
             "reproducing.md",
             "robustness.md",
+            "serving.md",
             "testing.md",
             "theory.md",
             "tiers.md",

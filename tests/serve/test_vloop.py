@@ -1,0 +1,255 @@
+"""The virtual-time event loop: real asyncio semantics, simulated clock."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.vloop import VirtualTimeEventLoop
+
+
+def run(coro):
+    loop = VirtualTimeEventLoop()
+    try:
+        return loop.run_until_complete(coro), loop
+    finally:
+        if not loop.is_closed():
+            loop.close()
+
+
+class TestClock:
+    def test_time_starts_at_zero(self):
+        async def main():
+            return asyncio.get_running_loop().time()
+
+        start, _loop = run(main())
+        assert start == 0.0
+
+    def test_sleep_advances_exactly(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            await asyncio.sleep(1.25)
+            first = loop.time()
+            await asyncio.sleep(0.75)
+            return first, loop.time()
+
+        (first, second), _loop = run(main())
+        assert first == 1.25
+        assert second == 2.0
+
+    def test_no_wall_clock_elapses(self):
+        import time
+
+        async def main():
+            await asyncio.sleep(3600.0)
+            return asyncio.get_running_loop().time()
+
+        before = time.monotonic()
+        virtual, _loop = run(main())
+        elapsed = time.monotonic() - before
+        assert virtual == 3600.0
+        assert elapsed < 5.0  # an hour of virtual time, instantly
+
+    def test_zero_sleep_yields_without_advancing(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            await asyncio.sleep(0)
+            return loop.time()
+
+        now, _loop = run(main())
+        assert now == 0.0
+
+
+class TestOrdering:
+    def test_concurrent_sleepers_wake_in_time_order(self):
+        order = []
+
+        async def sleeper(delay, label):
+            await asyncio.sleep(delay)
+            order.append((label, asyncio.get_running_loop().time()))
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            tasks = [
+                loop.create_task(sleeper(0.3, "c")),
+                loop.create_task(sleeper(0.1, "a")),
+                loop.create_task(sleeper(0.2, "b")),
+            ]
+            await asyncio.gather(*tasks)
+
+        run(main())
+        assert order == [("a", 0.1), ("b", 0.2), ("c", 0.3)]
+
+    def test_equal_deadlines_fire_in_schedule_order(self):
+        fired = []
+        loop = VirtualTimeEventLoop()
+        for label in ("first", "second", "third"):
+            loop.call_later(0.5, fired.append, label)
+
+        async def main():
+            await asyncio.sleep(1.0)
+
+        loop.run_until_complete(main())
+        assert fired == ["first", "second", "third"]
+
+    def test_cancelled_timer_does_not_fire(self):
+        fired = []
+        loop = VirtualTimeEventLoop()
+        keep = loop.call_later(0.2, fired.append, "keep")
+        drop = loop.call_later(0.1, fired.append, "drop")
+        drop.cancel()
+
+        async def main():
+            await asyncio.sleep(1.0)
+
+        loop.run_until_complete(main())
+        assert fired == ["keep"]
+        assert keep is not None
+
+
+class TestPrimitives:
+    def test_wait_for_timeout_fires_at_deadline(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            try:
+                await asyncio.wait_for(asyncio.sleep(10.0), timeout=0.5)
+            except asyncio.TimeoutError:
+                return loop.time()
+            raise AssertionError("wait_for did not time out")
+
+        when, _loop = run(main())
+        assert when == 0.5
+
+    def test_semaphore_serializes_slots(self):
+        spans = []
+
+        async def worker(semaphore):
+            async with semaphore:
+                loop = asyncio.get_running_loop()
+                start = loop.time()
+                await asyncio.sleep(1.0)
+                spans.append((start, loop.time()))
+
+        async def main():
+            semaphore = asyncio.Semaphore(2)
+            loop = asyncio.get_running_loop()
+            await asyncio.gather(
+                *(loop.create_task(worker(semaphore)) for _ in range(4))
+            )
+
+        run(main())
+        # Two slots: pairs run [0, 1] and [1, 2].
+        assert sorted(spans) == [(0.0, 1.0), (0.0, 1.0),
+                                 (1.0, 2.0), (1.0, 2.0)]
+
+    def test_cancellation_propagates(self):
+        witnessed = []
+
+        async def victim():
+            try:
+                await asyncio.sleep(100.0)
+            except asyncio.CancelledError:
+                witnessed.append(asyncio.get_running_loop().time())
+                raise
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            task = loop.create_task(victim())
+            await asyncio.sleep(0.25)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        run(main())
+        assert witnessed == [0.25]
+
+    def test_future_resolution_wakes_waiter(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            loop.call_later(2.5, future.set_result, "ready")
+            return await future, loop.time()
+
+        (value, when), _loop = run(main())
+        assert value == "ready"
+        assert when == 2.5
+
+
+class TestLifecycle:
+    def test_starvation_is_detected_not_hung(self):
+        async def main():
+            await asyncio.get_running_loop().create_future()  # never set
+
+        loop = VirtualTimeEventLoop()
+        with pytest.raises(RuntimeError, match="starved"):
+            loop.run_until_complete(main())
+
+    def test_closed_loop_refuses_work(self):
+        loop = VirtualTimeEventLoop()
+        loop.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            loop.call_soon(lambda: None)
+
+        async def nothing():
+            return None
+
+        coro = nothing()
+        with pytest.raises(RuntimeError, match="closed"):
+            loop.run_until_complete(coro)
+        coro.close()
+
+    def test_reentrant_run_refused(self):
+        loop = VirtualTimeEventLoop()
+
+        async def main():
+            inner = asyncio.sleep(0)
+            try:
+                loop.run_until_complete(inner)
+            finally:
+                inner.close()
+
+        with pytest.raises(RuntimeError, match="already running"):
+            loop.run_until_complete(main())
+
+    def test_unretrieved_exception_is_captured(self):
+        async def boom():
+            raise ValueError("lost")
+
+        async def main():
+            asyncio.get_running_loop().create_task(boom())
+            await asyncio.sleep(0.1)
+
+        _result, loop = run(main())
+        del _result
+        import gc
+
+        gc.collect()
+        assert any(
+            "lost" in str(context.get("exception", ""))
+            for context in loop.unhandled
+        )
+
+    def test_determinism_of_interleaving(self):
+        def trace_once():
+            events = []
+
+            async def worker(label, delay):
+                for step in range(3):
+                    await asyncio.sleep(delay)
+                    events.append(
+                        (label, step, asyncio.get_running_loop().time())
+                    )
+
+            async def main():
+                loop = asyncio.get_running_loop()
+                await asyncio.gather(
+                    loop.create_task(worker("x", 0.3)),
+                    loop.create_task(worker("y", 0.2)),
+                    loop.create_task(worker("z", 0.3)),
+                )
+
+            run(main())
+            return events
+
+        assert trace_once() == trace_once()

@@ -106,6 +106,39 @@ def trace_records(max_block=300, max_gap=20, min_size=1, max_size=250):
     )
 
 
+def stream_specs(max_rate=800.0, max_universe=64, max_clients=8,
+                 mixes=("A", "B", "C", "D")):
+    """Open-loop :class:`~repro.workloads.keystreams.StreamSpec` inputs.
+
+    Small rates and universes keep property runs fast while still
+    exercising both arrival processes, every YCSB mix and the
+    per-client beta skew.
+    """
+    from repro.workloads.keystreams import StreamSpec
+
+    return st.builds(
+        StreamSpec,
+        rate=st.floats(min_value=5.0, max_value=max_rate,
+                       allow_nan=False, allow_infinity=False),
+        universe=st.integers(min_value=2, max_value=max_universe),
+        alpha=st.floats(min_value=0.0, max_value=1.5,
+                        allow_nan=False, allow_infinity=False),
+        mix=st.sampled_from(list(mixes)),
+        clients=st.integers(min_value=1, max_value=max_clients),
+        process=st.sampled_from(["poisson", "mmpp"]),
+        seed=seeds(),
+    )
+
+
+def latency_samples(min_size=1, max_size=300, max_value=1e4):
+    """Non-negative latency-like float samples for quantile testing."""
+    return st.lists(
+        st.floats(min_value=0.0, max_value=max_value,
+                  allow_nan=False, allow_infinity=False),
+        min_size=min_size, max_size=max_size,
+    )
+
+
 def geometries(max_sets_log2=3, max_ways=8):
     """Small (num_sets, ways) cache geometries (power-of-two sets)."""
     return st.tuples(

@@ -78,3 +78,79 @@ class TestTraceBridge:
         trace = build_workload("mcf", config, accesses=500)
         keys = keys_from_trace(trace)
         assert len(set(keys)) == len(set(trace.block_addresses(64)))
+
+
+class TestOpenLoopSpecs:
+    def test_spec_validates_mix_and_process(self):
+        from repro.workloads.keystreams import StreamSpec
+
+        with pytest.raises(ValueError, match="YCSB mix"):
+            StreamSpec(mix="Z")
+        with pytest.raises(ValueError, match="arrival process"):
+            StreamSpec(process="uniform")
+
+    def test_arrival_generators_validate(self):
+        from repro.workloads.keystreams import (
+            ZipfSampler,
+            beta_client_weights,
+            mmpp_arrivals,
+            poisson_arrivals,
+        )
+
+        with pytest.raises(ValueError, match="rate"):
+            next(poisson_arrivals(0.0))
+        with pytest.raises(ValueError, match="rates"):
+            next(mmpp_arrivals(0.0, 10.0))
+        with pytest.raises(ValueError, match="dwell"):
+            next(mmpp_arrivals(10.0, 40.0, mean_dwell=0.0))
+        with pytest.raises(ValueError, match="universe"):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError, match="alpha"):
+            ZipfSampler(10, -0.5)
+        with pytest.raises(ValueError, match="clients"):
+            beta_client_weights(0, 2.0, 5.0, seed=0)
+
+    def test_take_validates_and_counts(self):
+        from repro.workloads.keystreams import StreamSpec
+
+        spec = StreamSpec(rate=100.0, universe=8, seed=1)
+        assert len(spec.take(25)) == 25
+        assert spec.take(0) == []
+        with pytest.raises(ValueError, match="count"):
+            spec.take(-1)
+
+    def test_insert_keys_are_fresh_and_sequential(self):
+        from repro.workloads.keystreams import StreamSpec
+
+        spec = StreamSpec(rate=500.0, universe=16, mix="D", seed=2)
+        inserts = [r for r in spec.take(2000) if r.op == "insert"]
+        assert inserts
+        assert [r.key for r in inserts] == [
+            f"r:new:{i}" for i in range(len(inserts))
+        ]
+
+    def test_trace_stream_replays_trace_keys_on_a_poisson_clock(self):
+        from repro.workloads.keystreams import TraceStreamSpec
+
+        config = CacheConfig(size_bytes=4 * 1024, ways=4, line_bytes=64)
+        trace = build_workload("ammp", config, accesses=300)
+        spec = TraceStreamSpec(source=trace, rate=200.0, seed=4)
+        events = list(spec.requests())
+        assert len(events) == 300
+        assert [r.key for r in events] == keys_from_trace(trace)
+        times = [r.at for r in events]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert all(r.op == "read" for r in events)
+        # Same spec, same stream (the key list is cached, times forked).
+        assert list(spec.requests()) == events
+
+    def test_trace_stream_loads_from_saved_path(self, tmp_path):
+        from repro.workloads.io import save_trace
+        from repro.workloads.keystreams import TraceStreamSpec
+
+        config = CacheConfig(size_bytes=4 * 1024, ways=4, line_bytes=64)
+        trace = build_workload("mcf", config, accesses=200)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        spec = TraceStreamSpec(source=str(path), rate=100.0, seed=5)
+        assert [r.key for r in spec.requests()] == keys_from_trace(trace)
