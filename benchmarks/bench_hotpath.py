@@ -129,23 +129,31 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--quick", action="store_true",
                         help="10x shorter stream (CI mode)")
+    parser.add_argument("--kernel", choices=["scalar", "columnar", "auto"],
+                        default="auto",
+                        help="batch kernel mode for access_many "
+                        "(default auto)")
     parser.add_argument("--baselines", default=str(BASELINES_PATH),
                         help="floors file (default benchmarks/baselines.json)")
     parser.add_argument("--json-out", default=None, metavar="PATH",
                         help="also write the measurements as JSON")
     args = parser.parse_args(argv)
 
+    from repro.perf.kernel import set_default_kernel
+
+    set_default_kernel(args.kernel)
     accesses = QUICK_ACCESSES if args.quick else FULL_ACCESSES
     start = time.perf_counter()
     measured = bench_hotpath(accesses=accesses)
     elapsed = time.perf_counter() - start
 
     print(f"hot-path throughput ({accesses} accesses/policy, "
-          f"{elapsed:.1f}s total):")
+          f"{elapsed:.1f}s total, kernel mode {args.kernel}):")
     for kind, row in sorted(measured.items()):
         print(f"  {kind:10s} access {row['access_per_sec']:>12,.0f}/s   "
               f"access_many {row['access_many_per_sec']:>12,.0f}/s   "
-              f"miss ratio {row['miss_ratio']:.3f}")
+              f"miss ratio {row['miss_ratio']:.3f}   "
+              f"kernel {row.get('kernel', 'scalar')}")
 
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:

@@ -30,6 +30,21 @@ from repro.cache.config import CacheConfig
 from repro.cache.stats import CacheStats
 from repro.policies.base import ReplacementPolicy
 
+# The columnar batch kernel (repro.perf.kernel) is bound lazily on the
+# first access_many call: repro.cache must stay importable without
+# repro.perf, and importing it eagerly would cycle through the perf
+# package's __init__.
+_columnar_dispatch = None
+
+
+def _maybe_columnar(cache, addresses, writes):
+    global _columnar_dispatch
+    if _columnar_dispatch is None:
+        from repro.perf.kernel import maybe_columnar
+
+        _columnar_dispatch = maybe_columnar
+    return _columnar_dispatch(cache, addresses, writes)
+
 
 class AccessResult:
     """Outcome of one cache access.
@@ -190,7 +205,15 @@ class SetAssociativeCache:
             addresses: byte addresses to reference, in order.
             writes: optional per-address write flags (same length);
                 omitted means every access is a read.
+
+        Large batches against a supported adaptive cache run on the
+        columnar kernel (:mod:`repro.perf.kernel`) — byte-identical by
+        contract, selected by :func:`repro.perf.kernel.set_default_kernel`;
+        everything else takes the scalar loop below.
         """
+        hits = _maybe_columnar(self, addresses, writes)
+        if hits is not None:
+            return hits
         offset_bits = self._offset_bits
         index_mask = self._index_mask
         tag_shift = self._tag_shift

@@ -46,6 +46,20 @@ L2_LOAD = 0
 L2_STORE = 1
 L2_WRITEBACK = 2
 
+# The columnar batch kernel is bound lazily: repro.perf imports the
+# experiment layer, which imports this module, so a top-level import
+# would cycle.
+_kernel_mod = None
+
+
+def _kernel():
+    global _kernel_mod
+    if _kernel_mod is None:
+        from repro.perf import kernel
+
+        _kernel_mod = kernel
+    return _kernel_mod
+
 
 @dataclass
 class CompiledWorkload:
@@ -172,6 +186,20 @@ def simulate(
     l2_offset_bits, l2_index_mask, l2_tag_shift = l2.config.decomposition()
     l2_access = l2.access_decomposed
 
+    # The cycle accounting below only consumes the hit/miss outcome of
+    # each L2 reference, so when the columnar kernel supports this cache
+    # it advances the whole batch up front and the loop reads the
+    # precomputed hit stream instead of calling into the cache.
+    records = compiled.l2_records
+    hit_stream = None
+    kernel = _kernel()
+    if kernel.kernel_name(l2, len(records)) == "columnar":
+        hit_stream = kernel.columnar_hit_stream(
+            l2,
+            [record[2] for record in records],
+            [record[1] != L2_LOAD for record in records],
+        )
+
     now = 0.0
     run_ahead = 0
     pending = deque()  # completion times of outstanding load misses
@@ -200,22 +228,25 @@ def simulate(
         if pending:
             run_ahead += remaining
 
-    for gap, kind, address in compiled.l2_records:
+    for index, (gap, kind, address) in enumerate(records):
         if kind == L2_WRITEBACK:
             advance(gap)
         else:
             advance(gap + 1)
-        result = l2_access(
-            (address >> l2_offset_bits) & l2_index_mask,
-            address >> l2_tag_shift,
-            kind != L2_LOAD,
-        )
+        if hit_stream is None:
+            hit = l2_access(
+                (address >> l2_offset_bits) & l2_index_mask,
+                address >> l2_tag_shift,
+                kind != L2_LOAD,
+            ).hit
+        else:
+            hit = hit_stream[index]
         accesses += 1
-        latency = l2_hit_latency if result.hit else miss_latency
-        if not result.hit:
+        latency = l2_hit_latency if hit else miss_latency
+        if not hit:
             misses += 1
         if kind == L2_LOAD:
-            if result.hit:
+            if hit:
                 load_stall += hit_stall
                 now += hit_stall
             else:

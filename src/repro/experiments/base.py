@@ -123,7 +123,10 @@ def build_l2_policy(
 # Default on-disk trace cache directory for WorkloadCache instances
 # created without an explicit trace_dir (set by the CLI's --trace-cache
 # flag so experiments stay oblivious to it). None disables disk caching.
-_DEFAULT_TRACE_DIR: Optional[str] = None
+# The REPRO_TRACE_CACHE environment variable seeds the default so CI
+# jobs can share one actions/cache directory across every invocation
+# without threading the flag through each command.
+_DEFAULT_TRACE_DIR: Optional[str] = os.environ.get("REPRO_TRACE_CACHE") or None
 
 
 def set_default_trace_dir(path: Optional[Union[str, os.PathLike]]) -> None:

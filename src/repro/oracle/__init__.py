@@ -14,12 +14,19 @@ specifications written for obviousness, not speed:
   divergent decision, plus cross-engine equivalence checks;
 * :mod:`repro.oracle.streams` — seeded random event-stream generators
   for differential campaigns;
+* :mod:`repro.oracle.columnar` — the scalar-vs-columnar lane proving
+  the batch kernel's decision-identity contract over every duel pair;
 * :mod:`repro.oracle.golden` — pinned golden-trace digests for the
   named suite (``repro-experiments golden --check/--regen``).
 
 See ``docs/testing.md`` for the workflow.
 """
 
+from repro.oracle.columnar import (
+    DUEL_PAIRS,
+    columnar_campaign,
+    run_columnar_differential,
+)
 from repro.oracle.harness import (
     CampaignReport,
     Divergence,
@@ -45,6 +52,7 @@ from repro.oracle.stack import StackDistanceEngine, lru_hits_all_ways
 
 __all__ = [
     "CampaignReport",
+    "DUEL_PAIRS",
     "Decision",
     "Divergence",
     "PlacementDecision",
@@ -55,8 +63,10 @@ __all__ = [
     "build_shard_pair",
     "build_tiered_kv_pair",
     "check_cross_engine",
+    "columnar_campaign",
     "differential_campaign",
     "lru_hits_all_ways",
+    "run_columnar_differential",
     "make_adaptive_spec",
     "make_placement_spec",
     "make_spec",

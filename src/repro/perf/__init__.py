@@ -1,22 +1,40 @@
-"""Performance infrastructure: parallel sweeps and benchmarks.
+"""Performance infrastructure: batch kernel, parallel sweeps, benchmarks.
 
 ``repro.perf`` is the speed layer of the reproduction:
 
+* :mod:`repro.perf.kernel` — the columnar shadow-directory kernel:
+  whole access batches simulated per set in struct-of-arrays form,
+  with a generated fast path per (policyA, policyB) duel pair and
+  saturation-skip elision for pegged selectors, byte-identical to the
+  scalar loop in every observable decision (``--kernel
+  scalar|columnar|auto`` on the CLI).
 * :mod:`repro.perf.parallel` — a process-parallel sweep executor
   (:class:`~repro.perf.parallel.ParallelRunner`) layered on the same
   crash-isolated cells as the serial runner, producing byte-identical
   results in deterministic order and sharing the serial path's
   checkpoint/resume format.
 * :mod:`repro.perf.bench` — the ``repro-experiments perf`` benchmark:
-  hot-path accesses/sec and sweep wall-clock, recorded to
-  ``BENCH_perf.json``.
+  hot-path accesses/sec (labelled with the kernel each row measured)
+  and sweep wall-clock, recorded to ``BENCH_perf.json``.
 
-The hot-path kernel itself lives where it always did
+The scalar hot path lives where it always did
 (:mod:`repro.cache.cache`, :mod:`repro.policies`); docs/performance.md
 describes the optimizations and the decision-identity argument.
 """
 
 from repro.perf.bench import run_perf
+from repro.perf.kernel import (
+    AUTO_MIN_BATCH,
+    KERNEL_MODES,
+    columnar_access_many,
+    columnar_hit_stream,
+    get_default_kernel,
+    get_saturation_skip,
+    kernel_name,
+    kernel_plan,
+    set_default_kernel,
+    set_saturation_skip,
+)
 from repro.perf.parallel import (
     ParallelRunner,
     get_default_workers,
@@ -25,9 +43,19 @@ from repro.perf.parallel import (
 )
 
 __all__ = [
+    "AUTO_MIN_BATCH",
+    "KERNEL_MODES",
     "ParallelRunner",
+    "columnar_access_many",
+    "columnar_hit_stream",
+    "get_default_kernel",
     "get_default_workers",
+    "get_saturation_skip",
+    "kernel_name",
+    "kernel_plan",
     "parallel_policy_sweep",
     "run_perf",
+    "set_default_kernel",
     "set_default_workers",
+    "set_saturation_skip",
 ]

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.config import CacheConfig
+from repro.perf.kernel import get_default_kernel, kernel_name
 from repro.utils.rng import DeterministicRNG
 
 #: Policies timed by the hot-path benchmark: the two cheapest fixed
@@ -104,11 +105,21 @@ def bench_hotpath(
         elapsed = time.perf_counter() - start
         per_call = accesses / elapsed
 
+        # Steady-state measurement: one untimed access_many run on a
+        # throwaway cache first, so the batch loop's code object — and,
+        # for supported adaptive caches, the generated columnar kernel —
+        # is compiled and specialization-warm before the clock starts.
+        warm = SetAssociativeCache(config, build_l2_policy(config, kind))
+        warm.access_many(addresses)
+
         batched = SetAssociativeCache(config, build_l2_policy(config, kind))
+        kernel = kernel_name(batched, accesses)
         start = time.perf_counter()
         batched.access_many(addresses)
         batched_elapsed = time.perf_counter() - start
 
+        # The per-call loop above always runs scalar, so on columnar
+        # caches this doubles as a scalar-vs-kernel miss-count canary.
         if batched.stats.misses != cache.stats.misses:
             raise AssertionError(
                 f"access/access_many diverged on {kind}: "
@@ -121,6 +132,7 @@ def bench_hotpath(
                 cache.stats.misses / cache.stats.accesses, 6
             ),
             "accesses": accesses,
+            "kernel": kernel,
         }
     return results
 
@@ -197,6 +209,7 @@ def run_perf(
             "platform": platform.platform(),
         },
         "quick": quick,
+        "kernel_mode": get_default_kernel(),
         "hotpath": bench_hotpath(accesses=hot_accesses),
         "sweep": bench_sweep(
             workers_counts=workers_counts, accesses=sweep_accesses
@@ -213,13 +226,15 @@ def render_perf(report: Dict[str, object]) -> str:
     lines = [
         f"machine: {report['machine']['cpu_count']} CPU(s), "
         f"Python {report['machine']['python']}",
+        f"kernel mode: {report.get('kernel_mode', 'auto')}",
         "hot path (accesses/sec):",
     ]
     for kind, row in sorted(report["hotpath"].items()):
         lines.append(
             f"  {kind:10s} access {row['access_per_sec']:>12,.0f}   "
             f"access_many {row['access_many_per_sec']:>12,.0f}   "
-            f"miss ratio {row['miss_ratio']:.3f}"
+            f"miss ratio {row['miss_ratio']:.3f}   "
+            f"kernel {row.get('kernel', 'scalar')}"
         )
     sweep = report["sweep"]
     lines.append(

@@ -104,7 +104,13 @@ class TestWorkloadCache:
 
 
 class TestTraceDiskCache:
-    def test_disabled_without_trace_dir(self):
+    def test_disabled_without_trace_dir(self, monkeypatch):
+        # Clear the process-wide default (CI seeds it via the
+        # REPRO_TRACE_CACHE environment variable) so this pins the
+        # no-configuration behavior.
+        from repro.experiments import base as base_mod
+
+        monkeypatch.setattr(base_mod, "_DEFAULT_TRACE_DIR", None)
         cache = WorkloadCache(make_setup("mini", accesses=1000))
         assert cache.trace_path("lucas") is None
 

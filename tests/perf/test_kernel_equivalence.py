@@ -1,0 +1,319 @@
+"""The columnar kernel's decision-identity contract, property-tested.
+
+The contract (see :mod:`repro.perf.kernel`): for every supported duel
+pair, the generated columnar kernel must leave a cache byte-identical
+to the scalar per-access loop — CacheStats, per-set misses, the full
+policy ``state_dict()``, resident set contents — and report the same
+per-access hit stream, with saturation skipping on or off. Hypothesis
+drives random streams (including write mixes and adversarial
+phase-change patterns) at every duel pair; deterministic tests pin the
+envelope checks, the mode/threshold dispatch, and the pegged-selector
+hooks the skip optimization rests on.
+"""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig
+from repro.core.history import BitVectorHistory, CounterHistory
+from repro.core.multi import five_policy_adaptive, make_adaptive
+from repro.core.partial import PartialTagScheme
+from repro.perf import kernel
+from repro.perf.kernel import (
+    AUTO_MIN_BATCH,
+    columnar_access_many,
+    columnar_hit_stream,
+    get_default_kernel,
+    get_saturation_skip,
+    kernel_name,
+    kernel_plan,
+    maybe_columnar,
+    set_default_kernel,
+    set_saturation_skip,
+)
+from repro.perf.kernel_codegen import build_duel_source
+from repro.policies.registry import make_policy
+
+KERNEL_KINDS = ("lru", "fifo", "lfu", "mru")
+ALL_PAIRS = tuple(product(KERNEL_KINDS, KERNEL_KINDS))
+
+
+def build_cache(components=("lru", "lfu"), num_sets=4, ways=4, **kwargs):
+    config = CacheConfig(size_bytes=num_sets * ways * 64, ways=ways)
+    policy = make_adaptive(num_sets, ways, tuple(components), **kwargs)
+    return SetAssociativeCache(config, policy)
+
+
+def observable_state(cache):
+    stats = cache.stats
+    return {
+        "stats": (stats.accesses, stats.hits, stats.misses,
+                  stats.evictions, stats.writebacks, stats.invalidations,
+                  tuple(stats.per_set_misses)),
+        "policy": cache.policy.state_dict(),
+        "sets": [cache_set.state_dict() for cache_set in cache.sets],
+    }
+
+
+def to_addresses(events, config):
+    offset_bits, _, tag_shift = config.decomposition()
+    addresses = [
+        (tag << tag_shift) | (set_index << offset_bits)
+        for set_index, tag, _ in events
+    ]
+    writes = [write for _, _, write in events]
+    return addresses, writes
+
+
+def assert_equivalent(components, events, num_sets=4, ways=4,
+                      saturation_skip=True, use_writes=True):
+    """Scalar access loop vs columnar batch: everything must match."""
+    scalar = build_cache(components, num_sets, ways)
+    columnar = build_cache(components, num_sets, ways)
+    addresses, writes = to_addresses(events, scalar.config)
+    if not use_writes:
+        writes = None
+    scalar_hits = [
+        scalar.access(address, is_write=bool(writes and writes[i])).hit
+        for i, address in enumerate(addresses)
+    ]
+    record = [False] * len(addresses)
+    hits = columnar_access_many(
+        columnar, addresses, writes=writes, record=record,
+        saturation_skip=saturation_skip,
+    )
+    assert hits == sum(scalar_hits)
+    assert record == scalar_hits
+    assert observable_state(columnar) == observable_state(scalar)
+
+
+def event_streams(num_sets=4, max_tag=11, min_size=1, max_size=300):
+    """(set, tag, write) streams over a hot universe (~3x capacity)."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=num_sets - 1),
+            st.integers(min_value=0, max_value=max_tag),
+            st.booleans(),
+        ),
+        min_size=min_size, max_size=max_size,
+    )
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        events=event_streams(),
+        pair=st.sampled_from(ALL_PAIRS),
+        skip=st.booleans(),
+        use_writes=st.booleans(),
+    )
+    def test_random_streams_all_pairs(self, events, pair, skip, use_writes):
+        assert_equivalent(pair, events, saturation_skip=skip,
+                          use_writes=use_writes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pair=st.sampled_from(ALL_PAIRS),
+        skip=st.booleans(),
+        phases=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=10, max_value=120),
+            ),
+            min_size=2, max_size=5,
+        ),
+    )
+    def test_phase_change_streams(self, pair, skip, phases):
+        # Alternate between a tiny hot loop (recency-friendly) and a
+        # scanning sweep (frequency-friendly) so selector windows
+        # saturate and then flip mid-batch — the exact pattern
+        # saturation skipping must survive.
+        events = []
+        cursor = 0
+        for phase_kind, length in phases:
+            for step in range(length):
+                if phase_kind == 0:
+                    tag = step % 3
+                else:
+                    cursor += 1
+                    tag = cursor % 24
+                events.append((step % 4, tag, step % 5 == 0))
+        assert_equivalent(pair, events, saturation_skip=skip)
+
+    @settings(max_examples=20, deadline=None)
+    @given(events=event_streams(num_sets=2, max_tag=7, max_size=200))
+    def test_single_set_geometry(self, events):
+        assert_equivalent(("lru", "mru"), events, num_sets=2, ways=4)
+
+
+class TestDispatchEquivalence:
+    def test_access_many_auto_dispatch_matches_scalar(self):
+        # Through the real access_many entry point: auto mode engages
+        # the kernel at AUTO_MIN_BATCH, and must match a scalar-forced
+        # run byte for byte.
+        from repro.oracle.streams import hardware_stream
+
+        events = hardware_stream(11, 4, 4, AUTO_MIN_BATCH + 100)
+        auto = build_cache()
+        forced = build_cache()
+        addresses, writes = to_addresses(events, auto.config)
+        assert get_default_kernel() == "auto"
+        auto_hits = auto.access_many(addresses, writes)
+        set_default_kernel("scalar")
+        try:
+            scalar_hits = forced.access_many(addresses, writes)
+        finally:
+            set_default_kernel("auto")
+        assert auto_hits == scalar_hits
+        assert observable_state(auto) == observable_state(forced)
+
+    def test_hit_stream_matches_access_many(self):
+        from repro.oracle.streams import hardware_stream
+
+        events = hardware_stream(5, 4, 4, 900)
+        one = build_cache()
+        two = build_cache()
+        addresses, writes = to_addresses(events, one.config)
+        stream = columnar_hit_stream(one, addresses, writes)
+        assert stream is not None
+        hits = two.access_many(addresses, writes)
+        assert sum(stream) == hits
+        assert observable_state(one) == observable_state(two)
+
+
+class TestEnvelope:
+    def test_supported_cache_has_plan(self):
+        assert kernel_plan(build_cache(("fifo", "mru"))) == ("fifo", "mru")
+
+    def test_plain_policy_rejected(self):
+        config = CacheConfig(size_bytes=1024, ways=4)
+        cache = SetAssociativeCache(
+            config, make_policy("lru", config.num_sets, 4)
+        )
+        assert kernel_plan(cache) is None
+        with pytest.raises(ValueError):
+            columnar_access_many(cache, [0, 64, 128])
+
+    def test_five_component_adaptive_rejected(self):
+        config = CacheConfig(size_bytes=1024, ways=4)
+        policy = five_policy_adaptive(config.num_sets, 4)
+        assert kernel_plan(SetAssociativeCache(config, policy)) is None
+
+    def test_partial_tags_rejected(self):
+        cache = build_cache(tag_transform=PartialTagScheme(16))
+        assert kernel_plan(cache) is None
+
+    def test_random_fallback_rejected(self):
+        cache = build_cache(fallback="random")
+        assert kernel_plan(cache) is None
+
+    def test_counter_history_rejected(self):
+        cache = build_cache(history_factory=lambda n: CounterHistory(n))
+        assert kernel_plan(cache) is None
+
+    def test_unsupported_component_rejected(self):
+        cache = build_cache(("lru", "random"))
+        assert kernel_plan(cache) is None
+
+    def test_fault_injector_rejected(self):
+        cache = build_cache()
+        cache.policy.fault_injector = object()
+        assert kernel_plan(cache) is None
+
+    def test_vote_sink_rejected(self):
+        cache = build_cache()
+        cache.policy.vote_sink = object()
+        assert kernel_plan(cache) is None
+
+
+class TestModeDispatch:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            set_default_kernel("turbo")
+        assert get_default_kernel() == "auto"
+
+    def test_auto_threshold(self):
+        cache = build_cache()
+        small = [0] * (AUTO_MIN_BATCH - 1)
+        assert maybe_columnar(cache, small, None) is None
+        assert kernel_name(cache, len(small)) == "scalar"
+        assert kernel_name(cache, AUTO_MIN_BATCH) == "columnar"
+
+    def test_scalar_mode_disables(self):
+        cache = build_cache()
+        set_default_kernel("scalar")
+        try:
+            assert maybe_columnar(cache, [0] * 2000, None) is None
+            assert kernel_name(cache, 2000) == "scalar"
+            assert columnar_hit_stream(cache, [0] * 2000) is None
+        finally:
+            set_default_kernel("auto")
+
+    def test_columnar_mode_ignores_threshold(self):
+        cache = build_cache()
+        set_default_kernel("columnar")
+        try:
+            assert kernel_name(cache, 8) == "columnar"
+            hits = cache.access_many([0, 64, 128])
+            assert hits == 0
+        finally:
+            set_default_kernel("auto")
+        assert cache.stats.accesses == 3
+
+    def test_saturation_skip_flag_round_trip(self):
+        assert get_saturation_skip() is True
+        set_saturation_skip(False)
+        try:
+            assert get_saturation_skip() is False
+        finally:
+            set_saturation_skip(True)
+
+    def test_empty_batch_stays_scalar(self):
+        assert maybe_columnar(build_cache(), [], None) is None
+
+    def test_mismatched_writes_rejected(self):
+        cache = build_cache()
+        assert maybe_columnar(cache, [0] * 600, [True]) is None
+        with pytest.raises(ValueError):
+            columnar_access_many(cache, [0, 64], writes=[True])
+
+
+class TestCodegen:
+    def test_every_pair_compiles(self):
+        for pair in ALL_PAIRS:
+            source = build_duel_source(*pair)
+            compile(source, "<test>", "exec")
+
+    def test_duel_fn_cached_per_pair(self):
+        fn_one = kernel._duel_fn(("lru", "lfu"))
+        fn_two = kernel._duel_fn(("lru", "lfu"))
+        assert fn_one is fn_two
+
+
+class TestPeggedHooks:
+    def test_bitvector_saturates_only_when_unanimous(self):
+        history = BitVectorHistory(2, window=4)
+        assert not history.saturated()
+        for _ in range(4):
+            history.record((True, False))
+        assert history.saturated()
+        history.record((False, True))
+        assert not history.saturated()
+
+    def test_counter_history_never_saturates(self):
+        history = CounterHistory(2)
+        for _ in range(64):
+            history.record((True, False))
+        assert not history.saturated()
+
+    def test_selector_pegged_tracks_history(self):
+        cache = build_cache(num_sets=1)
+        selector = cache.policy.selectors[0]
+        assert not selector.pegged()
+        window = selector.history.window
+        for _ in range(window):
+            selector.history.record((True, False))
+        assert selector.pegged()
