@@ -3,7 +3,7 @@
 Two faces:
 
 * under pytest (``pytest benchmarks/bench_ext_serve.py``) it runs the
-  three-regime serving harness (quick scale under the shared
+  five-regime serving harness (quick scale under the shared
   ``--quick`` flag) and asserts the SLO floors;
 * as a script (``python benchmarks/bench_ext_serve.py --quick``) it is
   the CI gate — it checks the *committed* ``BENCH_serve.json`` against
@@ -77,6 +77,18 @@ def test_ext_serve_shapes(serve_report):
     # Degraded: stale serving engaged, and not one wrong value.
     assert degraded.stale_serves > 0
     assert degraded.breaker_trips > 0
+    # Recovery: the whole WAL replayed live, with honest outcomes
+    # during the window, and the final state byte-identical to a
+    # stop-the-world recovery of the same directory.
+    recovery = serve_report.regimes["recovery"]
+    assert recovery.recovered_digest_match == 1
+    assert recovery.replay_total_ops == recovery.replay_applied_ops > 0
+    assert recovery.refused_recovering + recovery.recovering_stale > 0
+    assert recovery.recovery_complete_s > 0.0
+    # Tiered: the near/far front serves the steady stream cleanly.
+    tiered = serve_report.regimes["steady_tiered"]
+    assert tiered.completed > 0 and tiered.hit_ratio > 0.0
+    assert tiered.shed == 0 and tiered.timeouts == 0
     for regime in serve_report.regimes.values():
         assert regime.wrong_values == 0
 

@@ -173,7 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
         "durable cluster under --cluster-dir with an acked-write "
         "ledger, or with --verify recovers every member from disk and "
         "asserts zero acked-write loss; 'serve' runs the open-loop "
-        "serving harness across the steady/overload/degraded regimes "
+        "serving harness across the five regimes — steady, overload, "
+        "degraded, live recovery under traffic, tiered front — "
         "and writes BENCH_serve.json)",
     )
     parser.add_argument(
@@ -293,6 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
         "recorded in the directory and run it to completion (a fresh "
         "directory starts the stream from scratch), so the printed "
         "digest is comparable to an uninterrupted run's",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="with 'recover': recover by live (chunked, serve-through) "
+        "WAL replay instead of stop-the-world; the printed digest must "
+        "be identical either way",
     )
     parser.add_argument(
         "--quick",
@@ -473,8 +481,18 @@ def _run_recover(args: argparse.Namespace) -> int:
             stats = ext_online.persistent_replay(
                 args.snapshot_dir,
                 setup=base.make_setup(args.scale, accesses=args.accesses),
+                live=args.live,
             )
-            verb = "recovered+finished"
+            verb = ("recovered+finished (live)" if args.live
+                    else "recovered+finished")
+        elif args.live:
+            from repro.online.liverecovery import live_recover
+
+            cache = live_recover(args.snapshot_dir)
+            cache.finish()
+            stats = cache.stats()
+            cache.close()
+            verb = "recovered (live)"
         else:
             cache = recover(args.snapshot_dir)
             stats = cache.stats()

@@ -151,6 +151,7 @@ def persistent_replay(
     seed: int = 0,
     snapshot_every: int = SNAPSHOT_EVERY,
     wal_flush_ops: int = WAL_FLUSH_OPS,
+    live: bool = False,
 ):
     """Crash-safe adaptive replay of one key stream; resumes after kills.
 
@@ -174,24 +175,41 @@ def persistent_replay(
         seed: stream and engine seed.
         snapshot_every: operations between automatic snapshots.
         wal_flush_ops: buffered operations per WAL flush.
+        live: recover through
+            :class:`~repro.online.liverecovery.LiveRecoveringKVCache`
+            instead of stop-the-world — the stream resumes *while* the
+            WAL replays in chunks (an access for a still-replaying
+            shard steps replay until its shard is promoted, keeping
+            every access applied and logged), and the final digest
+            must still equal the uninterrupted run's.
 
     Returns:
         The final :class:`~repro.online.stats.KVCacheStats`.
     """
+    from repro.online.liverecovery import LiveRecoveringKVCache
     from repro.online.persistence import PersistentKVCache, recover
     from repro.utils.atomicio import atomic_write_text
 
     meta_path = os.path.join(directory, STREAM_FILE)
+    recovering_live = False
     if os.path.exists(meta_path):
         with open(meta_path, "r", encoding="utf-8") as handle:
             meta = json.load(handle)
         workload, seed = meta["workload"], int(meta["seed"])
         setup = make_setup(meta["scale"], accesses=int(meta["accesses"]))
-        cache = recover(
-            directory,
-            snapshot_every=snapshot_every,
-            wal_flush_ops=wal_flush_ops,
-        )
+        if live:
+            cache = LiveRecoveringKVCache(
+                directory,
+                snapshot_every=snapshot_every,
+                wal_flush_ops=wal_flush_ops,
+            )
+            recovering_live = cache.recovering
+        else:
+            cache = recover(
+                directory,
+                snapshot_every=snapshot_every,
+                wal_flush_ops=wal_flush_ops,
+            )
     else:
         setup = setup or make_setup()
         os.makedirs(directory, exist_ok=True)
@@ -217,8 +235,25 @@ def persistent_replay(
         )
     capacity = setup.l2.num_lines
     keys = build_key_stream(workload, capacity, setup, seed=seed)
-    for key in keys[cache.stats().gets:]:
-        cache.get_or_compute(key, lambda k: k)
+    if recovering_live:
+        # The stream's resume position is where *finished* replay will
+        # land: every record here is one logged access.
+        remaining = (cache.recovery.total_records
+                     - cache.recovery.applied_records)
+        position = cache.stats().gets + remaining
+        for key in keys[position:]:
+            # Serve through the recovering cache: ready shards answer
+            # (and log) immediately. A key on a still-replaying shard
+            # would be served stale or refused *without logging*, so
+            # step replay until its shard is promoted — exact stream
+            # order, every access applied and logged.
+            while not cache.key_serving(key):
+                cache.step()
+            cache.get_or_compute(key, lambda k: k)
+        cache.finish()  # drain any replay the stream did not force
+    else:
+        for key in keys[cache.stats().gets:]:
+            cache.get_or_compute(key, lambda k: k)
     cache.close()
     return cache.stats()
 

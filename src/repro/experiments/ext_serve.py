@@ -6,7 +6,7 @@ experiment drives the async serving front
 (:mod:`repro.serve`) with seeded open-loop streams
 (:mod:`repro.workloads.keystreams`) on a virtual-time event loop and
 reports the SLO picture — p50/p99/p999, goodput, shed/timeout rates
-and the stale-serve fraction — across three regimes:
+and the stale-serve fraction — across five regimes:
 
 * **steady**: offered load well under capacity (the baseline SLO);
 * **overload**: bursty MMPP arrivals past capacity with a bounded
@@ -14,7 +14,15 @@ and the stale-serve fraction — across three regimes:
   tail;
 * **degraded**: a flaky, browning-out backend plus shards quarantined
   mid-run and rebuilt — the resilient ladder answers stale-but-true
-  values and never a wrong one.
+  values and never a wrong one;
+* **recovery**: a persistent cache is seeded, killed, and restarted
+  *under traffic* as a live-recovering cache — chunked WAL replay
+  serves reads shard by shard while admission backpressure sheds the
+  excess, and the end-of-regime digest must match a stop-the-world
+  recovery of the same directory (zero acked-write loss);
+* **steady_tiered**: the near/far tiered front under the steady
+  arrival process — the two-tier hit path through the same admission
+  front.
 
 Everything runs in virtual time, so the experiment is fast, and with a
 fixed seed the whole report — every latency percentile included — is
@@ -35,7 +43,7 @@ def run(
     seed: int = 0,
     quick: Optional[bool] = None,
 ) -> ExperimentResult:
-    """The three-regime serving report as an :class:`ExperimentResult`.
+    """The five-regime serving report as an :class:`ExperimentResult`.
 
     Args:
         setup: experiment scale; ``mini`` maps to the quick (CI-sized)
@@ -58,8 +66,8 @@ def to_result(report: ServeReport) -> ExperimentResult:
         experiment="ext-serve",
         description="Open-loop serving SLOs over the resilient online "
         "cache: tail latency, goodput, shedding and stale serving "
-        "across steady / overload / degraded regimes (virtual time, "
-        "deterministic per seed)",
+        "across steady / overload / degraded / recovery / tiered "
+        "regimes (virtual time, deterministic per seed)",
         headers=[
             "regime", "offered rps", "goodput rps", "p50 ms", "p99 ms",
             "p999 ms", "shed %", "timeout %", "stale %", "wrong",
@@ -99,6 +107,28 @@ def to_result(report: ServeReport) -> ExperimentResult:
             f"{degraded.wrong_values} wrong values observed; "
             f"{degraded.retries_denied} retries denied by the shared "
             "retry budget."
+        )
+    recovery = report.regimes.get("recovery")
+    if recovery is not None:
+        result.add_note(
+            f"Recovery regime: {recovery.replay_applied_ops} of "
+            f"{recovery.replay_total_ops} WAL records replayed live in "
+            f"{recovery.recovery_complete_s:.2f} s while serving "
+            f"(p99 during replay {recovery.replay_p99_ms:.1f} ms); "
+            f"honest outcomes only — {recovery.refused_recovering} "
+            f"refusals, {recovery.recovering_stale} stale-marked "
+            f"serves, {recovery.deferred_writes} writes deferred then "
+            "applied in order. Digest match vs stop-the-world "
+            f"recovery: {bool(recovery.recovered_digest_match)} "
+            "(must be True — no acked write lost)."
+        )
+    tiered = report.regimes.get("steady_tiered")
+    if tiered is not None:
+        result.add_note(
+            f"Tiered front under steady load: hit ratio "
+            f"{100.0 * tiered.hit_ratio:.1f}% through the near/far "
+            f"pair at p99 {tiered.p99_ms:.1f} ms, "
+            f"{tiered.wrong_values} wrong values."
         )
     total_wrong = sum(r.wrong_values for r in report.regimes.values())
     result.add_note(

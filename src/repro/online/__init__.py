@@ -20,6 +20,11 @@ KV-block caches in serving stacks:
 * :mod:`repro.online.persistence` — crash-safe durability: periodic
   snapshots plus a CRC-framed write-ahead log, with recovery that
   reissues byte-identical replacement decisions.
+* :mod:`repro.online.liverecovery` — live recovery: the same snapshot
+  + WAL chain replayed in bounded chunks interleaved with request
+  service (per-shard replay cursors, honest stale/refused reads,
+  dual-logged deferred writes), converging to a state byte-identical
+  to stop-the-world recovery.
 * :mod:`repro.online.resilience` — resilient serving: bounded retries,
   per-shard circuit breakers, stale-while-unavailable fallback, shard
   quarantine/rebuild, and health/readiness probes.
@@ -29,10 +34,19 @@ See docs/online.md for the design and its mapping to the paper.
 
 from repro.online.bound import check_online_miss_bound
 from repro.online.engine import MODES, AdaptiveKVCache, default_sizeof
+from repro.online.liverecovery import (
+    LiveRecoveringKVCache,
+    LiveRecoveryStats,
+    RecoveryInProgress,
+    live_recover,
+)
 from repro.online.persistence import (
     PersistentKVCache,
     SnapshotCorruptError,
+    apply_wal_record,
+    iter_wal,
     kv_stats_digest,
+    load_snapshot_engine,
     read_snapshot,
     read_wal,
     recover,
@@ -77,12 +91,19 @@ __all__ = [
     "check_online_miss_bound",
     "PersistentKVCache",
     "SnapshotCorruptError",
+    "apply_wal_record",
+    "iter_wal",
     "kv_stats_digest",
+    "load_snapshot_engine",
     "read_snapshot",
     "read_wal",
     "recover",
     "replay_into",
     "write_snapshot",
+    "LiveRecoveringKVCache",
+    "LiveRecoveryStats",
+    "RecoveryInProgress",
+    "live_recover",
     "BREAKER_STATES",
     "CircuitBreaker",
     "LoaderUnavailable",

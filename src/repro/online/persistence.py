@@ -36,7 +36,7 @@ import os
 import pickle
 import threading
 import zlib
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.online.engine import AdaptiveKVCache
 from repro.utils.atomicio import atomic_output, atomic_write_text
@@ -74,35 +74,62 @@ def encode_record(op: tuple) -> bytes:
     )
 
 
+def iter_wal(
+    path: str, end: Optional[int] = None
+) -> Iterator[Tuple[tuple, int]]:
+    """Stream a WAL file record by record, tolerating a torn tail.
+
+    Yields ``(record, end_offset)`` pairs — the decoded operation and
+    the byte offset just past its frame — holding only one record in
+    memory at a time, so arbitrarily long logs replay in bounded
+    space. A truncated header, short payload or CRC mismatch stops
+    decoding; everything before it is trusted (each record carries its
+    own CRC, so corruption cannot silently pass). A missing file
+    yields nothing.
+
+    Args:
+        path: the WAL file.
+        end: optional byte bound — decoding stops at the first record
+            whose frame would cross it. Live recovery uses this to
+            replay exactly the intact prefix indexed at open time while
+            new records are being appended past it.
+    """
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        return
+    with handle:
+        offset = 0
+        while True:
+            if end is not None and offset + _RECORD_HEADER > end:
+                return
+            header = handle.read(_RECORD_HEADER)
+            if len(header) < _RECORD_HEADER:
+                return
+            crc = int.from_bytes(header[:4], "little")
+            length = int.from_bytes(header[4:8], "little")
+            record_end = offset + _RECORD_HEADER + length
+            if end is not None and record_end > end:
+                return
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return
+            offset = record_end
+            yield pickle.loads(payload), offset
+
+
 def read_wal(path: str) -> Tuple[List[tuple], int]:
-    """Decode a WAL file, tolerating a torn or corrupt tail.
+    """Decode a whole WAL file into memory (thin :func:`iter_wal` wrap).
 
     Returns:
         ``(records, good_length)`` — the operations up to the first
         framing violation, and the byte offset where the intact prefix
-        ends. A truncated header, short payload or CRC mismatch stops
-        decoding; everything before it is trusted (each record carries
-        its own CRC, so corruption cannot silently pass).
+        ends. Prefer :func:`iter_wal` when the log may be long.
     """
     records: List[tuple] = []
     offset = 0
-    try:
-        data = open(path, "rb").read()
-    except FileNotFoundError:
-        return records, 0
-    total = len(data)
-    while offset + _RECORD_HEADER <= total:
-        crc = int.from_bytes(data[offset:offset + 4], "little")
-        length = int.from_bytes(data[offset + 4:offset + 8], "little")
-        start = offset + _RECORD_HEADER
-        end = start + length
-        if end > total:
-            break
-        payload = data[start:end]
-        if zlib.crc32(payload) != crc:
-            break
-        records.append(pickle.loads(payload))
-        offset = end
+    for record, offset in iter_wal(path):
+        records.append(record)
     return records, offset
 
 
@@ -398,50 +425,54 @@ class PersistentKVCache:
                             pass
 
 
-def replay_into(cache: AdaptiveKVCache, records: List[tuple]) -> None:
-    """Apply decoded WAL records to an engine, in order."""
+def apply_wal_record(cache: AdaptiveKVCache, record: tuple) -> None:
+    """Apply one decoded WAL record to an engine."""
+    kind = record[0]
+    if kind == "get":
+        cache.get(record[1])
+    elif kind == "gmany":
+        cache.get_many(record[1])
+    elif kind == "put":
+        _, key, value, ttl, size = record
+        cache.put(key, value, ttl=ttl, size=size)
+    elif kind == "goc_fill":
+        _, key, value, ttl = record
+        cache.get_or_compute(key, lambda _k: value, ttl=ttl)
+    elif kind == "del":
+        cache.delete(record[1])
+    else:
+        raise ValueError(f"unknown WAL record kind {kind!r}")
+
+
+def replay_into(cache: AdaptiveKVCache, records: Iterable[tuple]) -> None:
+    """Apply decoded WAL records to an engine, in order.
+
+    ``records`` may be any iterable — in particular a lazily decoded
+    stream of ``record`` fields from :func:`iter_wal` — so replay never
+    requires the whole log in memory.
+    """
     for record in records:
-        kind = record[0]
-        if kind == "get":
-            cache.get(record[1])
-        elif kind == "gmany":
-            cache.get_many(record[1])
-        elif kind == "put":
-            _, key, value, ttl, size = record
-            cache.put(key, value, ttl=ttl, size=size)
-        elif kind == "goc_fill":
-            _, key, value, ttl = record
-            cache.get_or_compute(key, lambda _k: value, ttl=ttl)
-        elif kind == "del":
-            cache.delete(record[1])
-        else:
-            raise ValueError(f"unknown WAL record kind {kind!r}")
+        apply_wal_record(cache, record)
 
 
-def recover(
+def load_snapshot_engine(
     directory: str,
-    snapshot_every: Optional[int] = 10_000,
-    wal_flush_ops: int = 64,
     sizeof: Optional[Callable] = None,
     history_factory=None,
     clock: Callable[[], float] = None,
-) -> PersistentKVCache:
-    """Rebuild a :class:`PersistentKVCache` from its on-disk state.
+) -> Tuple[AdaptiveKVCache, int, int]:
+    """Rebuild an engine from the newest intact snapshot in ``directory``.
 
-    Loads the newest intact snapshot (falling back one generation when
-    the newest fails its CRC — e.g. a crash straddled the atomic
-    replace), replays every write-ahead log from that generation
-    forward with torn tails truncated, and returns a wrapper appending
-    to the newest log exactly where the intact prefix ends.
+    The snapshot-loading half of :func:`recover` — shared with
+    :class:`~repro.online.liverecovery.LiveRecoveringKVCache`, which
+    replays the WAL chain incrementally instead of all at once.
 
-    Args:
-        directory: the persistence directory of a previous run.
-        snapshot_every: automatic-snapshot cadence for the new wrapper.
-        wal_flush_ops: WAL flush cadence for the new wrapper.
-        sizeof: byte-size estimator override (callables cannot be
-            recorded in the manifest).
-        history_factory: per-shard miss-history override, likewise.
-        clock: time-source override, likewise.
+    Returns:
+        ``(cache, loaded_generation, latest_generation)`` — the engine
+        restored from ``snapshot-loaded_generation`` (falling back one
+        generation when the newest snapshot is torn or corrupt) and the
+        manifest's latest generation; WALs ``loaded_generation`` through
+        ``latest_generation`` still need replaying.
 
     Raises:
         FileNotFoundError: no manifest in ``directory``.
@@ -480,12 +511,51 @@ def recover(
         sizeof=sizeof, history_factory=history_factory, clock=clock, **config
     )
     cache.load_state_dict(state)
+    return cache, loaded_gen, latest
+
+
+def recover(
+    directory: str,
+    snapshot_every: Optional[int] = 10_000,
+    wal_flush_ops: int = 64,
+    sizeof: Optional[Callable] = None,
+    history_factory=None,
+    clock: Callable[[], float] = None,
+) -> PersistentKVCache:
+    """Rebuild a :class:`PersistentKVCache` from its on-disk state.
+
+    Loads the newest intact snapshot (falling back one generation when
+    the newest fails its CRC — e.g. a crash straddled the atomic
+    replace), replays every write-ahead log from that generation
+    forward with torn tails truncated, and returns a wrapper appending
+    to the newest log exactly where the intact prefix ends.
+
+    Args:
+        directory: the persistence directory of a previous run.
+        snapshot_every: automatic-snapshot cadence for the new wrapper.
+        wal_flush_ops: WAL flush cadence for the new wrapper.
+        sizeof: byte-size estimator override (callables cannot be
+            recorded in the manifest).
+        history_factory: per-shard miss-history override, likewise.
+        clock: time-source override, likewise.
+
+    Raises:
+        FileNotFoundError: no manifest in ``directory``.
+        SnapshotCorruptError: no intact snapshot survives.
+    """
+    cache, loaded_gen, latest = load_snapshot_engine(
+        directory,
+        sizeof=sizeof,
+        history_factory=history_factory,
+        clock=clock,
+    )
 
     offset = 0
     for generation in range(loaded_gen, latest + 1):
         wal_path = os.path.join(directory, _wal_name(generation))
-        records, offset = read_wal(wal_path)
-        replay_into(cache, records)
+        offset = 0
+        for record, offset in iter_wal(wal_path):
+            apply_wal_record(cache, record)
     # ``offset`` is now the intact length of the newest WAL; make sure
     # that file exists even if the crash landed before its first append.
     newest = os.path.join(directory, _wal_name(latest))

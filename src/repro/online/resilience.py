@@ -29,6 +29,18 @@ Shards can additionally be **quarantined** (e.g. after a detected
 corruption): a quarantined shard serves nothing and swallows writes;
 :meth:`ResilientKVCache.rebuild` swaps in a freshly built shard —
 empty, or restored from a persisted snapshot's shard state.
+
+When the wrapped cache is a
+:class:`~repro.online.liverecovery.LiveRecoveringKVCache` (detected by
+its ``shard_serving`` probe), the ladder adds a **recovery rung**: a
+read whose shard is still replaying its WAL prefix never runs the
+loader (filling a half-replayed shard would break recovery's
+byte-identity guarantee) — it is answered from the wrapper's honest
+recovering path (pending write, stale peek) or refused with
+:class:`~repro.online.liverecovery.RecoveryInProgress`. Writes pass
+through unconditionally; the wrapper dual-logs and defers them itself.
+:meth:`ResilientKVCache.serving_fraction` folds replay progress into
+one number the serving front uses for admission backpressure.
 """
 
 from __future__ import annotations
@@ -305,6 +317,11 @@ class ResilientKVCache:
             )
         self.cache = cache
         self.engine = getattr(cache, "cache", cache)
+        # A live-recovering wrapper exposes per-shard readiness; plain
+        # caches don't, and every shard counts as serving.
+        self._recovery = (
+            cache if callable(getattr(cache, "shard_serving", None)) else None
+        )
         self.retry = retry if retry is not None else RetryPolicy()
         if breaker_factory is None:
             breaker_factory = CircuitBreaker
@@ -322,6 +339,11 @@ class ResilientKVCache:
 
     def _shard_index(self, key) -> int:
         return shard_of(key_fingerprint(key), self.engine.num_shards)
+
+    def _shard_recovering(self, index: int) -> bool:
+        """Whether ``index``'s shard is still replaying its WAL."""
+        return (self._recovery is not None
+                and not self._recovery.shard_serving(index))
 
     # ------------------------------------------------------------------
     # Serving API
@@ -361,6 +383,10 @@ class ResilientKVCache:
         shard = self.engine.shards[index]
         if index in self._quarantined:
             return self._serve_stale(shard, key, None, (False, None))
+        if self._shard_recovering(index):
+            # Never run the loader against a half-replayed shard; the
+            # wrapper serves a pending write or stale peek, or refuses.
+            return self.cache.recovering_read(key)
 
         # Capture any resident value *before* the real lookup: the
         # cache expires lazily, so the get below would destroy an
@@ -436,6 +462,8 @@ class ResilientKVCache:
         shard = self.engine.shards[index]
         if index in self._quarantined:
             return self._serve_stale(shard, key, None, (False, None))
+        if self._shard_recovering(index):
+            return self.cache.recovering_read(key)
 
         stale = shard.peek_stale(key)
         missing = object()
@@ -553,13 +581,34 @@ class ResilientKVCache:
             "quarantined": sorted(self._quarantined),
             "stale_hits": stats.stale_hits,
             "degraded": stats.degraded,
+            "recovering": (self._recovery is not None
+                           and self._recovery.recovering),
+            "serving_fraction": self.serving_fraction(),
             "ready": self.ready(),
         }
 
+    def serving_fraction(self) -> float:
+        """Fraction of shards serving normally, 0.0..1.0.
+
+        A shard is serving when it is neither quarantined nor still
+        replaying its WAL prefix during live recovery. The serving
+        front scales its admission bound by this number, shedding
+        early while capacity is genuinely reduced.
+        """
+        num_shards = self.engine.num_shards
+        if self._recovery is None:
+            return (num_shards - len(self._quarantined)) / num_shards
+        serving = sum(
+            1
+            for index in range(num_shards)
+            if index not in self._quarantined
+            and self._recovery.shard_serving(index)
+        )
+        return serving / num_shards
+
     def ready(self) -> bool:
         """Readiness probe: enough shards in service to take traffic."""
-        serving = self.engine.num_shards - len(self._quarantined)
-        return serving >= self.min_ready_fraction * self.engine.num_shards
+        return self.serving_fraction() >= self.min_ready_fraction
 
     # ------------------------------------------------------------------
     # Passthrough

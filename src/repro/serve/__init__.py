@@ -16,9 +16,10 @@ This package provides that measurement:
   in-flight admission (load shedding), per-request deadlines, and the
   async resilient ladder of
   :meth:`~repro.online.resilience.ResilientKVCache.aget_or_compute`;
-* :mod:`repro.serve.harness` — the three-regime SLO harness (steady,
-  overload, degraded/recovering) behind ``repro-experiments ext-serve``
-  and the committed ``BENCH_serve.json``.
+* :mod:`repro.serve.harness` — the five-regime SLO harness (steady,
+  overload, degraded, live recovery under traffic, tiered front)
+  behind ``repro-experiments ext-serve`` and the committed
+  ``BENCH_serve.json``.
 
 Request streams come from the load-generator layer in
 :mod:`repro.workloads.keystreams` (Poisson/MMPP arrivals, Zipf

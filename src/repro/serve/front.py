@@ -18,6 +18,13 @@ itself does not provide:
   ``deadline`` is cancelled and counted (:class:`RequestTimeout`), the
   SLO-miss signal.
 
+While the cache underneath is live-recovering (WAL replay in
+progress), the admission bound additionally scales with the resilient
+cache's :meth:`~repro.online.resilience.ResilientKVCache.serving_fraction`:
+with only a fraction of shards serving, the front sheds earlier rather
+than queueing depth the reduced capacity cannot drain — backpressure
+that relaxes automatically as replay cursors drain and shards promote.
+
 Each admitted request is served by the cache's async resilient ladder
 (:meth:`~repro.online.resilience.ResilientKVCache.aget_or_compute`),
 optionally under a shared :class:`~repro.online.resilience.RetryBudget`
@@ -131,15 +138,33 @@ class AsyncServingFront:
         control, deadline and service slots as reads."""
         await self._admitted(key, self._serve_write(key, value, ttl))
 
+    def _admission_bound(self) -> Optional[int]:
+        """The effective in-flight bound, scaled during live recovery.
+
+        ``max_pending * serving_fraction`` (never below 1) while the
+        underlying cache is replaying its WAL; ``max_pending`` — and no
+        per-request probing — otherwise.
+        """
+        bound = self.max_pending
+        if bound is None:
+            return None
+        fraction_of = getattr(self.resilient, "serving_fraction", None)
+        if fraction_of is None:
+            return bound
+        fraction = fraction_of()
+        if fraction >= 1.0:
+            return bound
+        return max(1, int(bound * fraction))
+
     async def _admitted(self, key, serving):
         """Admission check + deadline around one serving coroutine."""
-        if (self.max_pending is not None
-                and self._pending >= self.max_pending):
+        bound = self._admission_bound()
+        if bound is not None and self._pending >= bound:
             self.shed += 1
             serving.close()  # never awaited; silence the warning
             raise RequestShed(
                 f"{self._pending} requests in flight (bound "
-                f"{self.max_pending}); shedding {key!r}"
+                f"{bound}); shedding {key!r}"
             )
         self.admitted += 1
         self._pending += 1

@@ -1,4 +1,8 @@
-"""The open-loop SLO harness: steady, overload and degraded regimes.
+"""The open-loop SLO harness: measurement loop, reports and floors.
+
+Regime *construction* — :class:`~repro.serve.stack.RegimePlan` and the
+stack builders — lives in :mod:`repro.serve.stack` and is re-exported
+here; this module drives the stream and builds the reports.
 
 This is the measurement the ROADMAP's "open-loop service benchmark"
 item asks for. A seeded request stream (:mod:`repro.workloads.keystreams`)
@@ -8,7 +12,7 @@ virtual-time event loop (:mod:`repro.serve.vloop`) — so a multi-second
 traffic simulation replays in milliseconds and a fixed seed reproduces
 a byte-identical report.
 
-Three regimes tell the serving story:
+Five regimes tell the serving story:
 
 * **steady** — offered load well under capacity: the baseline SLO
   (p50/p99/p999, goodput ~= offered, nothing shed);
@@ -17,7 +21,23 @@ Three regimes tell the serving story:
   goodput saturates at capacity and excess arrivals are shed;
 * **degraded** — a flaky backend (seeded failure bursts) plus shards
   quarantined mid-run and rebuilt later: the resilient ladder serves
-  stale-but-true values (stale fraction > 0) and **never** a wrong one.
+  stale-but-true values (stale fraction > 0) and **never** a wrong one;
+* **recovery** — a persistent cache is seeded with a request prefix and
+  killed, then restarted as a
+  :class:`~repro.online.liverecovery.LiveRecoveringKVCache` *under
+  traffic*: a background task replays the WAL in bounded chunks while
+  the stream keeps arriving. The report carries the replay-window tail
+  (``replay_p99_ms``), the honest-degradation counters (refusals,
+  recovering stale serves, deferred writes), the virtual time to full
+  recovery, and ``recovered_digest_match`` — the live-recovered state
+  checked byte-identical against a stop-the-world
+  :func:`~repro.online.persistence.recover` of the same directory
+  (which proves zero acked-write loss: accepted writes were
+  dual-logged, so the reference replay contains them too);
+* **steady_tiered** — the steady stream served through
+  :func:`~repro.tiers.kv.tiered_front` (a near shard over the adaptive
+  engine) behind the same admission front, so the near/far topology
+  has an open-loop SLO row of its own.
 
 Per-request latency lands in a streaming
 :class:`~repro.serve.sketch.LatencySketch` *and* an exact-quantile
@@ -31,97 +51,42 @@ from __future__ import annotations
 
 import asyncio
 import json
+import shutil
+import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.faults.online import AsyncFlakyLoader
-from repro.online.engine import AdaptiveKVCache
+from repro.online.liverecovery import (
+    LiveRecoveringKVCache,
+    RecoveryInProgress,
+)
+from repro.online.persistence import kv_stats_digest, recover
 from repro.online.resilience import (
-    CircuitBreaker,
     LoaderUnavailable,
     ResilientKVCache,
     RetryBudget,
-    RetryPolicy,
 )
 from repro.serve.front import AsyncServingFront, RequestShed, RequestTimeout
 from repro.serve.sketch import LatencySketch, exact_quantile
+# Stack construction (plans and builders) lives in repro.serve.stack;
+# RegimePlan and the builders are re-exported here so the historical
+# import surface (``from repro.serve.harness import RegimePlan``)
+# keeps working.
+from repro.serve.stack import (  # noqa: F401 — re-exported surface
+    RegimePlan,
+    backend_value,
+    build_recovery_stack,
+    build_stack,
+    default_plans,
+    seed_persistent,
+)
 from repro.serve.vloop import VirtualTimeEventLoop
-from repro.workloads.keystreams import StreamSpec
 
 #: Report schema version for BENCH_serve.json.
 SCHEMA = 1
 
 #: The quantiles every regime reports.
 QUANTILES = (0.5, 0.99, 0.999)
-
-
-def backend_value(key):
-    """The deterministic backend: ground truth per key.
-
-    Stale serves return an *old* value of the same key; with a
-    deterministic backend old values equal current ones, so any
-    mismatch a regime observes is a genuine wrong value (a lie), never
-    mere staleness — the invariant ``wrong_values == 0`` rests on this.
-    """
-    return ("v", key)
-
-
-@dataclass(frozen=True)
-class RegimePlan:
-    """One serving regime, as inert data.
-
-    Attributes:
-        name: regime label (report key).
-        spec: the open-loop request stream.
-        warmup: seconds of traffic before measurement starts (cache
-            fill; excluded from every reported number).
-        duration: measured seconds.
-        concurrency: parallel service slots.
-        max_pending: in-flight bound (arrivals beyond it are shed).
-        deadline: per-request sojourn deadline, seconds.
-        service_time: in-slot cost paid by every request (hit or miss).
-        miss_latency: backend service time awaited per loader call.
-        spike_latency / spike_rate: extra seeded latency spikes.
-        failure_rate / burst: seeded loader failures (brown-outs).
-        capacity_entries / num_shards / components: engine geometry.
-        ttl: entry TTL, seconds (None = no expiry; the degraded regime
-            needs one so stale serving is reachable).
-        retry_attempts / retry_backoff / retry_budget_tokens: the
-            retry schedule and the shared retry-token pool.
-        breaker_threshold / breaker_timeout: per-shard breaker tuning.
-        quarantine_shards / quarantine_at / rebuild_at: the chaos
-            schedule — shards taken out of service at ``quarantine_at``
-            (virtual seconds from stream start) and rebuilt empty at
-            ``rebuild_at``.
-        seed: master seed (stream and loader fork from it).
-    """
-
-    name: str
-    spec: StreamSpec
-    warmup: float = 1.0
-    duration: float = 3.0
-    concurrency: int = 8
-    max_pending: Optional[int] = 256
-    deadline: Optional[float] = 0.1
-    service_time: float = 0.001
-    miss_latency: float = 0.005
-    spike_latency: float = 0.0
-    spike_rate: float = 0.0
-    failure_rate: float = 0.0
-    burst: int = 0
-    capacity_entries: int = 256
-    num_shards: int = 8
-    components: Tuple[str, ...] = ("lru", "lfu")
-    ttl: Optional[float] = None
-    retry_attempts: int = 3
-    retry_backoff: float = 0.005
-    retry_budget_tokens: Optional[int] = 32
-    breaker_threshold: int = 5
-    breaker_timeout: float = 0.5
-    quarantine_shards: Tuple[int, ...] = ()
-    quarantine_at: Optional[float] = None
-    rebuild_at: Optional[float] = None
-    seed: int = 0
 
 
 @dataclass
@@ -151,6 +116,16 @@ class RegimeReport:
     breaker_trips: int = 0
     retries_denied: int = 0
     hit_ratio: float = 0.0
+    # Recovery-regime extras (zero everywhere else; kept in every
+    # row so the report schema is uniform).
+    replay_total_ops: int = 0
+    replay_applied_ops: int = 0
+    recovery_complete_s: float = 0.0
+    refused_recovering: int = 0
+    recovering_stale: int = 0
+    deferred_writes: int = 0
+    replay_p99_ms: float = 0.0
+    recovered_digest_match: int = 0
 
     def to_dict(self) -> dict:
         """JSON-stable dict (floats rounded deterministically)."""
@@ -170,6 +145,7 @@ class _Accumulator:
     timeouts: int = 0
     unavailable: int = 0
     wrong: int = 0
+    refused: int = 0
     sketch: LatencySketch = field(
         default_factory=lambda: LatencySketch(relative_error=0.01)
     )
@@ -177,115 +153,17 @@ class _Accumulator:
     boundary: Optional[object] = None
 
 
-def default_plans(quick: bool = False, seed: int = 0) -> List[RegimePlan]:
-    """The three standard regimes, at bench (full) or CI (quick) scale.
+@dataclass
+class _RecoveryTracker:
+    """Live-recovery instrumentation for one regime run (internal)."""
 
-    Capacity with the default knobs is roughly
-    ``concurrency / (service_time + miss_ratio * miss_latency)`` ~= a
-    few thousand requests/second; steady offers well under half of it,
-    overload several times it.
-    """
-    warmup = 1.0 if quick else 2.0
-    duration = 1.5 if quick else 5.0
-    steady = RegimePlan(
-        name="steady",
-        spec=StreamSpec(rate=1500.0, universe=512, alpha=1.0, mix="B",
-                        clients=16, seed=seed),
-        warmup=warmup,
-        duration=duration,
-        concurrency=8,
-        max_pending=256,
-        deadline=0.1,
-        spike_latency=0.04,
-        spike_rate=0.02,
-        seed=seed,
+    live: LiveRecoveringKVCache
+    interval: float
+    sketch: LatencySketch = field(
+        default_factory=lambda: LatencySketch(relative_error=0.01)
     )
-    overload = RegimePlan(
-        name="overload",
-        spec=StreamSpec(rate=2500.0, universe=512, alpha=1.0, mix="C",
-                        clients=16, process="mmpp", burst_rate=8000.0,
-                        mean_dwell=1.0, burst_dwell=0.5, seed=seed + 1),
-        warmup=warmup,
-        duration=duration,
-        concurrency=4,
-        max_pending=64,
-        deadline=0.05,
-        spike_latency=0.05,
-        spike_rate=0.05,
-        seed=seed + 1,
-    )
-    chaos_at = warmup + 0.2 * duration
-    rebuild_at = warmup + 0.7 * duration
-    degraded = RegimePlan(
-        name="degraded",
-        spec=StreamSpec(rate=1500.0, universe=512, alpha=1.0, mix="B",
-                        clients=16, seed=seed + 2),
-        warmup=warmup,
-        duration=duration,
-        concurrency=8,
-        max_pending=256,
-        deadline=0.1,
-        failure_rate=0.15,
-        burst=6,
-        ttl=1.0,
-        retry_budget_tokens=4,
-        breaker_threshold=5,
-        breaker_timeout=0.25,
-        quarantine_shards=(1, 5),
-        quarantine_at=chaos_at,
-        rebuild_at=rebuild_at,
-        seed=seed + 2,
-    )
-    return [steady, overload, degraded]
-
-
-def build_stack(plan: RegimePlan, clock) -> Tuple[
-        AsyncServingFront, AsyncFlakyLoader, Optional[RetryBudget]]:
-    """The serving stack (front, loader, budget) for one plan."""
-    engine = AdaptiveKVCache(
-        capacity_entries=plan.capacity_entries,
-        num_shards=plan.num_shards,
-        components=plan.components,
-        default_ttl=plan.ttl,
-        seed=plan.seed,
-        clock=clock,
-    )
-    resilient = ResilientKVCache(
-        engine,
-        retry=RetryPolicy(
-            attempts=plan.retry_attempts,
-            backoff=plan.retry_backoff,
-            budget=plan.deadline,
-        ),
-        breaker_factory=lambda: CircuitBreaker(
-            failure_threshold=plan.breaker_threshold,
-            recovery_timeout=plan.breaker_timeout,
-            clock=clock,
-        ),
-        clock=clock,
-    )
-    loader = AsyncFlakyLoader(
-        backend_value,
-        base_latency=plan.miss_latency,
-        failure_rate=plan.failure_rate,
-        burst=plan.burst,
-        latency=plan.spike_latency,
-        latency_rate=plan.spike_rate,
-        seed=plan.seed + 13,
-    )
-    budget = (
-        RetryBudget(plan.retry_budget_tokens)
-        if plan.retry_budget_tokens is not None else None
-    )
-    front = AsyncServingFront(
-        resilient,
-        concurrency=plan.concurrency,
-        max_pending=plan.max_pending,
-        deadline=plan.deadline,
-        retry_budget=budget,
-        service_time=plan.service_time,
-    )
-    return front, loader, budget
+    start: Optional[float] = None
+    completed_at: Optional[float] = None
 
 
 async def _chaos_schedule(resilient: ResilientKVCache,
@@ -301,9 +179,11 @@ async def _chaos_schedule(resilient: ResilientKVCache,
 
 
 async def _one_request(front: AsyncServingFront, loader, request,
-                       measured: bool, acc: _Accumulator, loop) -> None:
+                       measured: bool, acc: _Accumulator, loop,
+                       recovery: Optional[_RecoveryTracker] = None) -> None:
     """Serve one arrival; classify and (if measured) record it."""
     arrived = loop.time()
+    in_replay = recovery is not None and recovery.live.recovering
     outcome = "ok"
     value = None
     try:
@@ -315,6 +195,8 @@ async def _one_request(front: AsyncServingFront, loader, request,
         outcome = "shed"
     except RequestTimeout:
         outcome = "timeout"
+    except RecoveryInProgress:
+        outcome = "refused"
     except LoaderUnavailable:
         outcome = "unavailable"
     if not measured:
@@ -329,14 +211,29 @@ async def _one_request(front: AsyncServingFront, loader, request,
         return  # refused instantly; no latency to record
     elif outcome == "timeout":
         acc.timeouts += 1
+    elif outcome == "refused":
+        acc.refused += 1
     else:
         acc.unavailable += 1
     acc.sketch.add(latency)
     acc.latencies.append(latency)
+    if in_replay:
+        recovery.sketch.add(latency)
 
 
-async def _drive(plan: RegimePlan, front: AsyncServingFront,
-                 loader) -> _Accumulator:
+async def _replay_schedule(recovery: _RecoveryTracker) -> None:
+    """Step live WAL replay on its cadence until recovery completes."""
+    loop = asyncio.get_running_loop()
+    live = recovery.live
+    while live.recovering:
+        await asyncio.sleep(recovery.interval)
+        live.step()
+    recovery.completed_at = loop.time()
+
+
+async def _drive(plan: RegimePlan, front: AsyncServingFront, loader,
+                 recovery: Optional[_RecoveryTracker] = None
+                 ) -> _Accumulator:
     """Replay the plan's stream open-loop; return the measured tallies."""
     loop = asyncio.get_running_loop()
     acc = _Accumulator()
@@ -345,6 +242,10 @@ async def _drive(plan: RegimePlan, front: AsyncServingFront,
     chaos = None
     if plan.quarantine_at is not None:
         chaos = loop.create_task(_chaos_schedule(front.resilient, plan))
+    replay = None
+    if recovery is not None:
+        recovery.start = start
+        replay = loop.create_task(_replay_schedule(recovery))
     tasks = []
     for request in plan.spec.requests():
         if request.at >= horizon:
@@ -358,26 +259,79 @@ async def _drive(plan: RegimePlan, front: AsyncServingFront,
                 acc.boundary = front.resilient.stats()
             acc.arrivals += 1
         tasks.append(loop.create_task(
-            _one_request(front, loader, request, measured, acc, loop)
+            _one_request(front, loader, request, measured, acc, loop,
+                         recovery)
         ))
     if tasks:
         await asyncio.gather(*tasks)
     if chaos is not None:
         await chaos
+    if replay is not None:
+        # Replay keeps stepping (in virtual time) past the stream's end
+        # if it has not drained yet; completion time is still recorded.
+        await replay
     return acc
 
 
 def run_regime(plan: RegimePlan) -> RegimeReport:
     """Run one regime on a fresh virtual-time loop; return its report."""
     loop = VirtualTimeEventLoop()
-    front, loader, budget = build_stack(plan, loop.time)
+    recovery = None
+    directory = None
+    try:
+        if plan.recover_ops > 0:
+            directory = tempfile.mkdtemp(prefix="repro-serve-recovery-")
+            front, loader, budget, live = build_recovery_stack(
+                plan, loop.time, directory
+            )
+            recovery = _RecoveryTracker(live, plan.replay_interval)
+        else:
+            front, loader, budget = build_stack(plan, loop.time)
 
-    async def main():
-        return await _drive(plan, front, loader)
+        async def main():
+            return await _drive(plan, front, loader, recovery)
 
-    acc = loop.run_until_complete(main())
-    loop.close()
+        acc = loop.run_until_complete(main())
+        loop.close()
+        report = _build_report(plan, front, budget, acc)
+        if recovery is not None:
+            _finish_recovery_report(report, recovery, acc, directory)
+        return report
+    finally:
+        if directory is not None:
+            shutil.rmtree(directory, ignore_errors=True)
 
+
+def _finish_recovery_report(report: RegimeReport,
+                            recovery: _RecoveryTracker, acc: _Accumulator,
+                            directory: str) -> None:
+    """Recovery-only report fields, ending in the digest cross-check."""
+    live = recovery.live
+    report.replay_total_ops = live.recovery.total_records
+    report.replay_applied_ops = live.recovery.applied_records
+    if recovery.completed_at is not None and recovery.start is not None:
+        report.recovery_complete_s = recovery.completed_at - recovery.start
+    report.refused_recovering = acc.refused
+    report.recovering_stale = live.recovery.stale_serves
+    report.deferred_writes = live.recovery.deferred_writes
+    if recovery.sketch.count:
+        report.replay_p99_ms = recovery.sketch.quantile(0.99) * 1000.0
+    # The honesty proof: the live-recovered state must be byte-identical
+    # to a stop-the-world recovery of the same directory — which also
+    # replays the dual-logged writes accepted mid-replay, so a match
+    # means zero acked-write loss.
+    live.sync()
+    live_digest = kv_stats_digest(live.stats())
+    reference = recover(directory)
+    match = live_digest == kv_stats_digest(reference.stats())
+    report.recovered_digest_match = 1 if match else 0
+    reference.close()
+    live.close()
+
+
+def _build_report(plan: RegimePlan, front: AsyncServingFront,
+                  budget: Optional[RetryBudget],
+                  acc: _Accumulator) -> RegimeReport:
     report = RegimeReport(name=plan.name)
     report.requests = acc.arrivals
     report.offered_rps = acc.arrivals / plan.duration
@@ -468,7 +422,7 @@ class ServeReport:
 
 
 def run_serve(quick: bool = False, seed: int = 0) -> ServeReport:
-    """Run all three regimes; the engine behind ``repro-experiments
+    """Run all five regimes; the engine behind ``repro-experiments
     serve`` and ``BENCH_serve.json``."""
     regimes = {}
     for plan in default_plans(quick=quick, seed=seed):

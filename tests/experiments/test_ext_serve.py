@@ -18,9 +18,11 @@ def result():
 class TestRun:
     def test_table_shape(self, result):
         assert result.experiment == "ext-serve"
-        assert len(result.rows) == 3
+        assert len(result.rows) == 5
         regimes = [row[0] for row in result.rows]
-        assert regimes == ["steady", "overload", "degraded"]
+        assert regimes == [
+            "steady", "overload", "degraded", "recovery", "steady_tiered",
+        ]
         for row in result.rows:
             offered, goodput = row[1], row[2]
             assert 0 < goodput <= offered
@@ -31,6 +33,9 @@ class TestRun:
         assert "stale" in text
         assert "sketch" in text.lower()
         assert "byte-identical" in text or "seed" in text
+        assert "replayed live" in text
+        assert "Digest match vs stop-the-world recovery: True" in text
+        assert "Tiered front" in text
 
     def test_mini_setup_maps_to_quick(self):
         # Same seed + quick flag must match the mini-setup run exactly:

@@ -194,6 +194,58 @@ class TestKillAndRecoverSmoke:
             reference.stdout
         )
 
+    def test_live_resume_digest_matches_uninterrupted(self, tmp_path):
+        """``persistent_replay(live=True)`` after a crash with a WAL
+        tail equals the uninterrupted run — in particular, resumed
+        accesses landing on still-replaying shards must be stepped to
+        readiness and *logged*, never absorbed as unlogged stale
+        peeks (a hot key resident in the snapshot would otherwise be
+        quietly peek-served and vanish from the stream position)."""
+        import json as json_mod
+
+        from repro.experiments import ext_online
+        from repro.experiments.base import make_setup
+        from repro.online.engine import AdaptiveKVCache
+        from repro.online.persistence import (
+            PersistentKVCache,
+            kv_stats_digest,
+        )
+        from repro.utils.atomicio import atomic_write_text
+
+        setup = make_setup("mini", accesses=3000)
+        capacity = setup.l2.num_lines
+        keys = ext_online.build_key_stream("zipf", capacity, setup, seed=0)
+        reference = ext_online.persistent_replay(
+            str(tmp_path / "ref"), setup=setup
+        )
+
+        victim_dir = str(tmp_path / "victim")
+        os.makedirs(victim_dir)
+        atomic_write_text(
+            os.path.join(victim_dir, ext_online.STREAM_FILE),
+            json_mod.dumps({
+                "workload": "zipf", "scale": "mini",
+                "accesses": 3000, "seed": 0,
+            }),
+        )
+        victim = PersistentKVCache(
+            AdaptiveKVCache(
+                capacity_entries=capacity,
+                num_shards=ext_online.NUM_SHARDS,
+                policy="adaptive", seed=0,
+            ),
+            victim_dir, snapshot_every=2000, wal_flush_ops=16,
+        )
+        # Past the rotation at 2000 with a 345-record WAL tail, 9 of
+        # them buffered: the "crash" (no sync, no close) loses those.
+        for key in keys[:2345]:
+            victim.get_or_compute(key, lambda k: k)
+        del victim
+
+        resumed = ext_online.persistent_replay(victim_dir, live=True)
+        assert resumed.gets == reference.gets == 3000
+        assert kv_stats_digest(resumed) == kv_stats_digest(reference)
+
     def test_recover_without_state_fails_cleanly(self, tmp_path):
         src = str(pathlib.Path(repro.__file__).resolve().parents[1])
         env = {**os.environ, "PYTHONPATH": src}

@@ -20,6 +20,7 @@ from repro.online.persistence import (
     PersistentKVCache,
     SnapshotCorruptError,
     encode_record,
+    iter_wal,
     kv_stats_digest,
     read_snapshot,
     read_wal,
@@ -95,6 +96,35 @@ class TestWalFraming:
         records, good = read_wal(path)
         assert records == [("get", 0)]
         assert good == len(frames[0])
+
+    def test_iter_wal_streams_what_read_wal_returns(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        frames = [encode_record(("get", i)) for i in range(6)]
+        with open(path, "wb") as handle:
+            handle.write(b"".join(frames)[:-5])  # torn tail
+        streamed = list(iter_wal(path))
+        records, good = read_wal(path)
+        assert [record for record, _ in streamed] == records
+        assert streamed[-1][1] == good
+        # Offsets are the running intact-prefix lengths.
+        expected, offsets = 0, []
+        for frame in frames[:5]:
+            expected += len(frame)
+            offsets.append(expected)
+        assert [offset for _, offset in streamed] == offsets
+        assert list(iter_wal(str(tmp_path / "absent.log"))) == []
+
+    def test_iter_wal_end_bound_excludes_crossing_records(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        frames = [encode_record(("get", i)) for i in range(3)]
+        with open(path, "wb") as handle:
+            handle.write(b"".join(frames))
+        two = len(frames[0]) + len(frames[1])
+        assert len(list(iter_wal(path, end=two))) == 2
+        # A bound inside a frame stops before that frame.
+        assert len(list(iter_wal(path, end=two - 1))) == 1
+        assert len(list(iter_wal(path, end=len(frames[0]) + 4))) == 1
+        assert list(iter_wal(path, end=0)) == []
 
 
 class TestSnapshotFraming:

@@ -1,4 +1,4 @@
-"""The three-regime SLO harness: reports, determinism, floor checks."""
+"""The five-regime SLO harness: reports, determinism, floor checks."""
 
 from __future__ import annotations
 
@@ -111,18 +111,22 @@ class TestServeReport:
         decoded = json.loads(first.to_json())
         assert decoded["schema"] == 1
         assert decoded["seed"] == 1
-        assert set(decoded["regimes"]) == {"steady", "overload", "degraded"}
+        assert set(decoded["regimes"]) == {
+            "steady", "overload", "degraded", "recovery", "steady_tiered",
+        }
 
     def test_render_mentions_every_regime(self):
         report = run_serve(quick=True, seed=1)
         text = report.render()
-        for name in ("steady", "overload", "degraded"):
+        for name in ("steady", "overload", "degraded", "recovery",
+                     "steady_tiered"):
             assert name in text
 
     def test_default_plans_cover_both_scales(self):
         quick = default_plans(quick=True)
         full = default_plans(quick=False)
         assert [p.name for p in quick] == [p.name for p in full]
+        assert len(full) == 5
         assert all(q.duration < f.duration
                    for q, f in zip(quick, full))
         # The chaos schedule must land inside the measured phase.
@@ -130,6 +134,92 @@ class TestServeReport:
         assert degraded.warmup < degraded.quarantine_at
         assert degraded.quarantine_at < degraded.rebuild_at
         assert degraded.rebuild_at < degraded.warmup + degraded.duration
+        # Replay must drain inside the measured window at both scales,
+        # so the report sees the recovered steady state too.
+        for plans in (quick, full):
+            recovery = dict((p.name, p) for p in plans)["recovery"]
+            replay_rate = (recovery.replay_chunk_ops
+                           / recovery.replay_interval)
+            assert recovery.recover_ops / replay_rate < recovery.duration
+
+
+def recovery_plan(**overrides):
+    """A sub-second live-recovery regime (seed, crash, replay, serve)."""
+    settings = dict(
+        name="tiny-recovery",
+        spec=StreamSpec(rate=600.0, universe=64, alpha=1.0, mix="B",
+                        clients=4, seed=7),
+        warmup=0.0,
+        duration=0.8,
+        concurrency=4,
+        max_pending=64,
+        deadline=0.1,
+        ttl=None,
+        recover_ops=400,
+        replay_chunk_ops=40,
+        replay_interval=0.02,
+        seed=7,
+    )
+    settings.update(overrides)
+    return RegimePlan(**settings)
+
+
+class TestRecoveryRegime:
+    def test_live_recovery_matches_stop_the_world(self):
+        report = run_regime(recovery_plan())
+        # The tentpole invariant: serving during replay must converge
+        # to the exact state stop-the-world recovery produces — which
+        # also proves every acked (dual-logged) write survived.
+        assert report.recovered_digest_match == 1
+        assert report.replay_total_ops == report.replay_applied_ops > 0
+        assert report.wrong_values == 0
+
+    def test_replay_window_is_measured(self):
+        report = run_regime(recovery_plan())
+        assert report.recovery_complete_s > 0.0
+        assert report.replay_p99_ms > 0.0
+        # Honest degradation is visible while shards are replaying.
+        assert report.refused_recovering + report.recovering_stale > 0
+
+    def test_accounting_includes_refusals(self):
+        report = run_regime(recovery_plan())
+        assert (report.completed + report.shed + report.timeouts
+                + report.unavailable + report.refused_recovering
+                ) == report.requests
+
+    def test_recovery_regime_is_deterministic(self):
+        first = run_regime(recovery_plan()).to_dict()
+        second = run_regime(recovery_plan()).to_dict()
+        assert first == second
+
+    def test_deferred_writes_survive(self):
+        # A write-heavy mix during replay exercises the dual-logged
+        # deferred path; the digest match proves none were lost.
+        report = run_regime(recovery_plan(
+            spec=StreamSpec(rate=600.0, universe=64, alpha=1.0, mix="A",
+                            clients=4, seed=9),
+            seed=9,
+        ))
+        assert report.deferred_writes > 0
+        assert report.recovered_digest_match == 1
+
+
+class TestTieredRegime:
+    def test_tiered_front_serves_steady_load(self):
+        report = run_regime(tiny_plan(name="tiny-tiered", front="tiered"))
+        assert report.completed > 0
+        assert report.wrong_values == 0
+        assert report.hit_ratio > 0.0
+        assert report.breaker_trips == 0
+        assert report.recovered_digest_match == 0  # not a recovery run
+
+    def test_tiered_regime_is_deterministic(self):
+        plan = tiny_plan(name="tiny-tiered", front="tiered")
+        assert run_regime(plan).to_dict() == run_regime(plan).to_dict()
+
+    def test_unknown_front_rejected(self):
+        with pytest.raises(ValueError, match="front"):
+            run_regime(tiny_plan(front="bogus"))
 
 
 class TestCheckFloors:
